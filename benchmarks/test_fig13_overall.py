@@ -1,0 +1,51 @@
+"""Benchmark regenerating Fig. 13 (and the §VIII-B headline speedups).
+
+Prints, for every Table II model and every system (six baselines + TEMP), the
+chosen configuration, OOM status, step-time breakdown, peak memory, and
+throughput — the rows the paper's figure plots — and asserts the reproduced
+shape: TEMP is the fastest non-OOM system for every model, Megatron-1 runs out
+of memory on the 70B-class and larger models, and TEMP's average speedup over
+every baseline exceeds 1x.
+"""
+
+from repro.experiments.fig13_overall import format_table, run_overall_comparison
+from repro.workloads.models import TABLE_II_MODELS
+
+
+def test_fig13_overall_comparison(benchmark):
+    comparison = benchmark.pedantic(
+        run_overall_comparison, kwargs={"models": TABLE_II_MODELS},
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(comparison))
+
+    # TEMP never OOMs and is the fastest feasible system for every model.
+    for model in comparison.models():
+        temp = comparison.cell(model, "TEMP")
+        assert not temp.oom, f"TEMP went OOM on {model}"
+        for system in comparison.systems():
+            cell = comparison.cell(model, system)
+            if system == "TEMP" or cell.oom:
+                continue
+            assert temp.step_time <= cell.step_time * 1.001, (
+                f"TEMP slower than {system} on {model}")
+
+    # Megatron-1 cannot hold the 70B-class and larger models (Fig. 13's OOMs).
+    for model in ("llama3-70b", "gpt3-76b", "gpt3-175b", "opt-175b"):
+        assert comparison.cell(model, "Mega+SMap").oom
+
+    # Average speedups over every baseline are > 1x (paper: 1.20x-1.69x).
+    speedups = comparison.average_speedups()
+    assert all(value > 1.0 for value in speedups.values()), speedups
+
+    # TEMP's peak memory never exceeds the best baseline by more than 10%
+    # (the paper reports 49%-82% of the baselines' usage on average).
+    for model in comparison.models():
+        ratios = comparison.memory_ratio(model)
+        feasible = [
+            ratio for system, ratio in ratios.items()
+            if not comparison.cell(model, system).oom
+        ]
+        if feasible:
+            assert min(feasible) <= 1.1

@@ -1,0 +1,37 @@
+"""Benchmark regenerating Fig. 14 (power breakdown and power efficiency)."""
+
+from repro.experiments.fig14_power import run_power_comparison
+from repro.workloads.models import TABLE_II_MODELS
+
+
+def test_fig14_power_efficiency(benchmark):
+    comparison = benchmark.pedantic(
+        run_power_comparison, kwargs={"models": TABLE_II_MODELS},
+        rounds=1, iterations=1)
+
+    print()
+    print("model            system      comp(W)   dram(W)   comm(W)   "
+          "total(W)  tok/s/W")
+    for cell in comparison.cells:
+        print(f"{cell.model:<16} {cell.system:<11} {cell.compute_watts:9.0f} "
+              f"{cell.dram_watts:9.0f} {cell.comm_watts:9.0f} "
+              f"{cell.total_watts:9.0f} {cell.power_efficiency:9.2f}")
+
+    gains = {system: comparison.efficiency_gain_over(system)
+             for system in comparison.systems() if system != "TEMP"}
+    print("TEMP power-efficiency gains:",
+          {k: round(v, 2) for k, v in gains.items()})
+
+    # Paper: TEMP achieves 1.23x-1.85x higher power efficiency than every
+    # baseline; here we require a gain > 1x against each.
+    assert all(value > 1.0 for value in gains.values()), gains
+
+    # Computation dominates the power budget (paper: > 50% of total).
+    for model in comparison.models():
+        cell = comparison.cell(model, "TEMP")
+        assert cell.breakdown()["compute"] > 0.5
+
+    # TEMP's total power stays at or below the baselines' (paper: 88-99%).
+    ratios = {system: comparison.power_ratio_over(system)
+              for system in comparison.systems() if system != "TEMP"}
+    assert all(value <= 1.05 for value in ratios.values()), ratios

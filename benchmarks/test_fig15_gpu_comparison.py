@@ -1,0 +1,34 @@
+"""Benchmark regenerating Fig. 15 (GPU cluster vs wafer-scale chip)."""
+
+from repro.core.metrics import geometric_mean
+from repro.experiments.fig15_gpu_comparison import run_gpu_comparison
+
+
+def test_fig15_gpu_comparison(benchmark):
+    rows = benchmark.pedantic(
+        run_gpu_comparison,
+        kwargs={"models": ["gpt3-6.7b", "llama2-7b", "llama3-70b", "gpt3-76b"]},
+        rounds=1, iterations=1)
+
+    print()
+    print("model          GPU+MeSP(s)  Wafer+MeSP(s)  Wafer+TEMP(s)  "
+          "TEMP/GPU  TEMP/WaferMeSP")
+    for row in rows:
+        print(f"{row.model:<14} {row.gpu_mesp_time:11.3f}  "
+              f"{row.wafer_mesp_time:13.3f}  {row.wafer_temp_time:13.3f}  "
+              f"{row.temp_speedup_over_gpu:8.2f}  "
+              f"{row.temp_speedup_over_wafer_mesp:10.2f}")
+
+    # Paper: Wafer+TEMP achieves the lowest training latency, beating both the
+    # GPU cluster running MeSP and the wafer running MeSP.
+    for row in rows:
+        assert row.wafer_temp_time <= row.gpu_mesp_time * 1.001
+        assert row.wafer_temp_time <= row.wafer_mesp_time * 1.001
+    mean_over_gpu = geometric_mean(
+        [row.temp_speedup_over_gpu for row in rows])
+    mean_over_wafer = geometric_mean(
+        [row.temp_speedup_over_wafer_mesp for row in rows])
+    print(f"average TEMP speedup: {mean_over_gpu:.2f}x over GPU+MeSP, "
+          f"{mean_over_wafer:.2f}x over Wafer+MeSP")
+    assert mean_over_gpu > 1.0
+    assert mean_over_wafer > 1.0

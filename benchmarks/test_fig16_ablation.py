@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 16 (ablation: Base, +TATP, +TATP+TCME)."""
+
+from repro.experiments.fig16_ablation import run_ablation
+from repro.workloads.models import TABLE_II_MODELS
+
+
+def test_fig16_ablation(benchmark):
+    study = benchmark.pedantic(
+        run_ablation, kwargs={"models": TABLE_II_MODELS}, rounds=1, iterations=1)
+
+    print()
+    print("model            base      +TATP     +TATP+TCME   (normalised throughput)")
+    for row in study.rows:
+        normalized = row.normalized()
+        print(f"{row.model:<16} {normalized['base']:8.2f}  "
+              f"{normalized['base+tatp']:8.2f}  {normalized['base+tatp+tcme']:10.2f}")
+    tatp_gain = study.average_gain("base+tatp", "base")
+    tcme_gain = study.average_gain("base+tatp+tcme", "base+tatp")
+    print(f"average gain from TATP: {tatp_gain:.2f}x; from TCME: {tcme_gain:.2f}x")
+
+    # Every optimisation step helps (or at least never hurts) every model, and
+    # the average gains are positive, with TATP contributing at least as much
+    # as TCME (paper: 1.21x vs 1.14x).
+    for row in study.rows:
+        normalized = row.normalized()
+        assert normalized["base+tatp"] >= 0.999
+        assert normalized["base+tatp+tcme"] >= normalized["base+tatp"] * 0.999
+    assert tatp_gain >= 1.0
+    assert tcme_gain >= 1.0
+    assert tatp_gain >= tcme_gain * 0.95

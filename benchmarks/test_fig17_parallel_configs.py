@@ -1,0 +1,34 @@
+"""Benchmark regenerating Fig. 17 (mixed-parallelism sweep for Llama2 7B)."""
+
+import pytest
+
+from repro.experiments.fig17_parallel_configs import run_config_sweep
+
+
+@pytest.mark.parametrize("seq_length,batch_size", [(2048, 128), (16384, 32)])
+def test_fig17_llama2_config_sweep(benchmark, seq_length, batch_size):
+    sweep = benchmark.pedantic(
+        run_config_sweep,
+        kwargs={"model_name": "llama2-7b", "seq_length": seq_length,
+                "batch_size": batch_size},
+        rounds=1, iterations=1)
+
+    normalized = sweep.normalized()
+    print()
+    print(f"Llama2-7B, seq={seq_length}, batch={batch_size} "
+          "(throughput normalised to best non-TATP config)")
+    for config in sorted(sweep.configs, key=lambda c: -c.throughput)[:10]:
+        print(f"  {config.label:<14} thpt={normalized[config.label]:5.2f} "
+              f"mem={config.memory_gb:5.1f}GB oom={config.oom}")
+
+    best = sweep.best()
+    best_tatp = sweep.best_with_tatp()
+    best_plain = sweep.best_without_tatp()
+    print(f"best overall: {best.label}; best TATP: {best_tatp.label}; "
+          f"best non-TATP: {best_plain.label}")
+
+    # Paper: configurations using TATP dominate; the overall winner uses a
+    # moderate (not extreme) TATP degree and beats the best TATP-free config.
+    assert best_tatp.throughput >= best_plain.throughput * 0.98
+    assert best.throughput > 0
+    assert 1 <= best.tatp <= 32

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 20 (fault tolerance sweeps)."""
+
+from repro.experiments.fig20_fault_tolerance import run_fault_tolerance
+
+
+def test_fig20_fault_tolerance(benchmark):
+    study = benchmark.pedantic(run_fault_tolerance, rounds=1, iterations=1)
+
+    print()
+    print("link-fault sweep (rate -> normalised throughput):")
+    for point in study.link_sweep:
+        print(f"  {point.fault_rate:4.0%} -> {point.relative_throughput:5.2f}")
+    print("core-fault sweep (rate -> normalised throughput):")
+    for point in study.core_sweep:
+        print(f"  {point.fault_rate:4.0%} -> {point.relative_throughput:5.2f}")
+
+    # Paper: link faults hit a throughput cliff (around a 35% fault rate),
+    # while core faults degrade gracefully (~80% throughput at a 25% rate).
+    cliff = study.link_cliff_rate(threshold=0.5)
+    assert cliff is not None and 0.2 <= cliff <= 0.6
+    assert study.link_sweep[0].relative_throughput > 0.99
+    assert study.core_sweep[-1].relative_throughput > 0.6
+    # Core-fault degradation is monotone and never cliff-like.
+    rates = [point.relative_throughput for point in study.core_sweep]
+    assert all(later <= earlier + 1e-6 for earlier, later in zip(rates, rates[1:]))

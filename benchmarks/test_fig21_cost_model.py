@@ -1,0 +1,27 @@
+"""Benchmark regenerating Fig. 21 (DNN cost-model accuracy vs regression)."""
+
+from repro.experiments.fig21_cost_model import run_cost_model_validation
+
+
+def test_fig21_cost_model_accuracy(benchmark):
+    study = benchmark.pedantic(
+        run_cost_model_validation,
+        kwargs={"train_samples_per_category": 400,
+                "test_samples_per_category": 500, "epochs": 200},
+        rounds=1, iterations=1)
+
+    print()
+    print("category        DNN corr  DNN err   regression corr  regression err")
+    for category in sorted(study.dnn_accuracy):
+        dnn = study.dnn_accuracy[category]
+        reg = study.regression_accuracy[category]
+        print(f"{category:<14} {dnn.correlation:9.3f} {dnn.relative_error:8.2%} "
+              f"{reg.correlation:16.3f} {reg.relative_error:15.2%}")
+    print(f"DNN query latency: {study.dnn_query_seconds * 1e6:.1f} us")
+
+    # Paper: the DNN model reaches > 0.98 correlation at ~4-5% error while the
+    # regression baseline's error is 2-3x larger; a query takes microseconds.
+    assert study.dnn_min_correlation() > 0.9
+    assert study.dnn_max_error() < 0.15
+    assert study.dnn_max_error() < study.regression_max_error()
+    assert study.dnn_query_seconds < 1e-2

@@ -1,0 +1,48 @@
+"""Compare TEMP against the six baselines of the paper on one model.
+
+Run with ``python examples/compare_baselines.py [model-name]``. This is the
+single-model version of Fig. 13: every (partitioning scheme x mapping engine)
+baseline is evaluated on its best configuration and printed next to TEMP.
+"""
+
+import sys
+
+from repro import TEMP, WaferScaleChip, get_model
+from repro.core.framework import evaluate_baseline
+from repro.parallelism.baselines import BaselineScheme
+
+
+def main(model_name: str = "llama3-70b") -> None:
+    wafer = WaferScaleChip()
+    model = get_model(model_name)
+    systems = [
+        (BaselineScheme.MEGATRON1, "smap", "Mega+SMap"),
+        (BaselineScheme.MEGATRON1, "gmap", "Mega+GMap"),
+        (BaselineScheme.MESP, "smap", "MeSP+SMap"),
+        (BaselineScheme.MESP, "gmap", "MeSP+GMap"),
+        (BaselineScheme.FSDP, "smap", "FSDP+SMap"),
+        (BaselineScheme.FSDP, "gmap", "FSDP+GMap"),
+    ]
+
+    print(f"Model: {model.name} ({model.num_parameters / 1e9:.1f}B parameters)")
+    print(f"{'system':<11} {'configuration':<34} {'OOM':<4} {'step(s)':>8} "
+          f"{'mem(GB)':>8} {'tokens/s':>10}")
+    rows = []
+    for scheme, engine, label in systems:
+        result = evaluate_baseline(scheme, engine, model, wafer=wafer)
+        rows.append((label, result))
+    rows.append(("TEMP", TEMP(wafer=wafer).optimize(model)))
+
+    best_time = min(r.report.step_time for _, r in rows if not r.oom)
+    for label, result in rows:
+        report = result.report
+        marker = " <- best" if (not result.oom
+                                and report.step_time == best_time) else ""
+        print(f"{label:<11} {result.best_spec.label():<34} "
+              f"{'yes' if result.oom else 'no':<4} {report.step_time:8.3f} "
+              f"{report.memory.total / 2**30:8.1f} {report.throughput:10.0f}"
+              f"{marker}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama3-70b")

@@ -1,0 +1,33 @@
+"""Explore mixed-parallelism configurations for long-sequence training.
+
+Run with ``python examples/long_sequence_sweep.py``. The script reproduces the
+Fig. 17(b) scenario: Llama2-7B with 16k-token sequences on a 32-die wafer,
+sweeping every (DP, TP, SP, TATP) combination under the traffic-conscious
+mapping engine and printing the ten best configurations.
+"""
+
+from repro.experiments.fig17_parallel_configs import run_config_sweep
+
+
+def main() -> None:
+    sweep = run_config_sweep(model_name="llama2-7b", seq_length=16384,
+                             batch_size=32)
+    normalized = sweep.normalized()
+
+    print("Llama2-7B, sequence length 16k, batch 32 — top configurations")
+    print(f"{'(DP,TP,SP,TATP)':<16} {'norm. throughput':>16} {'memory (GB)':>12} "
+          f"{'OOM':>4}")
+    ranked = sorted(sweep.configs, key=lambda c: -c.throughput)[:10]
+    for config in ranked:
+        print(f"{config.label:<16} {normalized[config.label]:16.2f} "
+              f"{config.memory_gb:12.1f} {'yes' if config.oom else 'no':>4}")
+
+    best = sweep.best()
+    reference = sweep.best_without_tatp()
+    print(f"\nBest configuration: {best.label} "
+          f"({best.throughput / reference.throughput:.2f}x the best "
+          f"TATP-free configuration {reference.label})")
+
+
+if __name__ == "__main__":
+    main()

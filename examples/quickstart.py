@@ -1,0 +1,33 @@
+"""Quickstart: optimise one model on the default wafer and print the report.
+
+Run with ``python examples/quickstart.py``. The script builds the Table I
+4x8-die wafer, asks the TEMP framework for the best hybrid configuration of
+GPT-3 6.7B, and prints the chosen (DP, TP, SP, TATP) degrees together with the
+simulated step time, memory footprint, and throughput.
+"""
+
+from repro import TEMP, WaferScaleChip, get_model
+
+
+def main() -> None:
+    wafer = WaferScaleChip()
+    print("Wafer:", wafer.describe())
+
+    model = get_model("gpt3-6.7b")
+    framework = TEMP(wafer=wafer)
+    result = framework.optimize(model)
+    report = result.report
+
+    print(f"\nBest TEMP configuration for {model.name}: {result.best_spec.label()}")
+    print(f"  step time        : {report.step_time * 1e3:.1f} ms")
+    print(f"  throughput       : {report.throughput:,.0f} tokens/s")
+    print(f"  peak memory/die  : {report.memory.total / 2**30:.1f} GB "
+          f"(capacity {wafer.config.die.hbm.capacity / 2**30:.0f} GB)")
+    print(f"  compute / comm   : {report.compute_time * 1e3:.1f} ms / "
+          f"{report.total_comm_time * 1e3:.1f} ms")
+    print(f"  power            : {report.power.total / 1e3:.1f} kW "
+          f"({report.power_efficiency:.1f} tokens/s/W)")
+
+
+if __name__ == "__main__":
+    main()

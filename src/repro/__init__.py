@@ -1,0 +1,60 @@
+"""TEMP reproduction: memory-efficient physical-aware tensor partition-mapping
+for wafer-scale chips (HPCA 2026).
+
+Public API overview
+-------------------
+
+Hardware substrate
+    :class:`repro.hardware.WaferScaleChip`, :class:`repro.hardware.WaferConfig`,
+    :class:`repro.hardware.MultiWaferSystem`, :class:`repro.hardware.GPUCluster`,
+    :class:`repro.hardware.FaultModel`.
+
+Workloads
+    :func:`repro.workloads.get_model`, :func:`repro.workloads.build_model_graph`,
+    :class:`repro.workloads.TrainingStep`.
+
+Parallelism
+    :class:`repro.parallelism.ParallelSpec`, :func:`repro.parallelism.analyze_model`,
+    :func:`repro.parallelism.bidirectional_schedule` (TATP, Algorithm 1),
+    :func:`repro.parallelism.candidate_specs`.
+
+Mapping
+    :func:`repro.mapping.get_engine` ("smap", "gmap", "tcme"),
+    :class:`repro.mapping.TCMEEngine`.
+
+Simulation
+    :class:`repro.simulation.WaferSimulator`, :class:`repro.simulation.SimulatorConfig`.
+
+Solver
+    :class:`repro.solver.DualLevelWaferSolver`.
+
+Framework
+    :class:`repro.core.TEMP`, :func:`repro.core.evaluate_baseline`,
+    :func:`repro.core.evaluate_multiwafer`, :func:`repro.core.evaluate_with_faults`.
+"""
+
+from repro.core.framework import TEMP, evaluate_baseline
+from repro.hardware.wafer import WaferScaleChip
+from repro.hardware.config import WaferConfig, default_wafer_config
+from repro.parallelism.spec import ParallelSpec
+from repro.parallelism.strategies import analyze_model
+from repro.simulation.simulator import WaferSimulator
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.models import get_model, list_models
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "TEMP",
+    "evaluate_baseline",
+    "WaferScaleChip",
+    "WaferConfig",
+    "default_wafer_config",
+    "ParallelSpec",
+    "analyze_model",
+    "WaferSimulator",
+    "SimulatorConfig",
+    "get_model",
+    "list_models",
+    "__version__",
+]

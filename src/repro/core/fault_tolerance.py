@@ -1,0 +1,155 @@
+"""Framework-level fault tolerance (Fig. 20).
+
+The paper's three-step flow:
+
+1. **fault localisation and classification** — identify whether the injected
+   faults are link faults, core faults, or whole-die faults
+   (:func:`repro.hardware.faults.classify_faults`),
+2. **adaptive tensor partitioning** — re-balance computation so the slowest
+   (most core-degraded) die no longer gates the step; in this analytical
+   reproduction the re-balancing recovers the average (instead of the
+   minimum) per-die throughput, up to a balancing efficiency,
+3. **communication re-routing** — the mapping layer routes around failed links
+   (BFS fallback in :func:`repro.mapping.routing.route_flow`); when the mesh
+   becomes too fragmented for contiguous rings, TATP's hop factors and
+   contention grow, producing the throughput cliff the paper reports near a
+   35% link-fault rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hardware.faults import FaultModel, FaultType, classify_faults
+from repro.hardware.wafer import WaferScaleChip
+from repro.parallelism.spec import ParallelSpec
+from repro.parallelism.strategies import analyze_model
+from repro.simulation.config import SimulatorConfig
+from repro.simulation.simulator import SimulationReport, WaferSimulator
+from repro.workloads.models import ModelConfig
+
+#: Fraction of the compute lost to imbalance that adaptive re-partitioning
+#: recovers (1.0 would be perfect re-balancing).
+REBALANCE_EFFICIENCY = 0.9
+
+
+@dataclass
+class FaultToleranceResult:
+    """Outcome of evaluating a configuration under injected faults."""
+
+    model: ModelConfig
+    spec: ParallelSpec
+    fault_counts: Dict[FaultType, int]
+    healthy_throughput: float
+    faulty_throughput: float
+    report: SimulationReport
+    rerouted: bool
+    rebalanced: bool
+
+    @property
+    def relative_throughput(self) -> float:
+        """Throughput under faults normalised to the healthy wafer."""
+        if self.healthy_throughput <= 0:
+            return 0.0
+        return self.faulty_throughput / self.healthy_throughput
+
+
+def evaluate_with_faults(
+    model: ModelConfig,
+    spec: ParallelSpec,
+    fault_model: FaultModel,
+    config: Optional[SimulatorConfig] = None,
+    engine: str = "tcme",
+    rebalance: bool = True,
+) -> FaultToleranceResult:
+    """Simulate ``spec`` on a healthy and a faulty wafer and compare.
+
+    Args:
+        model: the model being trained.
+        spec: the parallel configuration (it must fit the healthy die count).
+        fault_model: injected faults.
+        config: simulator knobs.
+        engine: mapping engine to use.
+        rebalance: apply step 2 (adaptive re-partitioning) so core faults are
+            absorbed by re-balancing instead of gating on the slowest die.
+    """
+    config = config or SimulatorConfig()
+    healthy_wafer = WaferScaleChip()
+    faulty_wafer = WaferScaleChip(fault_model=fault_model)
+
+    healthy_report = _simulate(model, spec, healthy_wafer, config, engine)
+    try:
+        faulty_report = _simulate(model, spec, faulty_wafer, config, engine)
+        faulty_throughput = faulty_report.throughput
+    except (ValueError, KeyError):
+        # The mesh has fragmented: some dies can no longer reach each other, so
+        # the configuration cannot run at all — the throughput cliff.
+        faulty_report = healthy_report
+        faulty_throughput = 0.0
+
+    rebalanced = False
+    if rebalance and fault_model.core_faults and faulty_throughput > 0:
+        faulty_throughput = _rebalanced_throughput(
+            model, spec, faulty_wafer, healthy_report, faulty_report)
+        rebalanced = True
+
+    return FaultToleranceResult(
+        model=model,
+        spec=spec,
+        fault_counts=classify_faults(fault_model),
+        healthy_throughput=healthy_report.throughput,
+        faulty_throughput=faulty_throughput,
+        report=faulty_report,
+        rerouted=bool(fault_model.failed_links),
+        rebalanced=rebalanced,
+    )
+
+
+def _simulate(
+    model: ModelConfig,
+    spec: ParallelSpec,
+    wafer: WaferScaleChip,
+    config: SimulatorConfig,
+    engine: str,
+) -> SimulationReport:
+    simulator = WaferSimulator(wafer, config)
+    plan = analyze_model(model, spec, num_devices=spec.total_degree)
+    return simulator.simulate(plan, engine=engine)
+
+
+def _rebalanced_throughput(
+    model: ModelConfig,
+    spec: ParallelSpec,
+    wafer: WaferScaleChip,
+    healthy_report: SimulationReport,
+    faulty_report: SimulationReport,
+) -> float:
+    """Step 2: adaptive tensor partitioning re-balances core-fault losses.
+
+    Without re-balancing the step is gated by the slowest die; with it, each
+    die receives work proportional to its surviving compute, so the effective
+    loss approaches the *average* core-fault fraction (scaled by the
+    re-balancing efficiency).
+    """
+    healthy_flops = wafer.config.die.peak_flops
+    die_flops = [wafer.die(d).peak_flops for d in wafer.healthy_dies()]
+    if not die_flops or healthy_flops <= 0:
+        return faulty_report.throughput
+    average_capacity = sum(die_flops) / (len(die_flops) * healthy_flops)
+    slowest_capacity = min(die_flops) / healthy_flops
+    if slowest_capacity <= 0:
+        return faulty_report.throughput
+    # The un-rebalanced run already reflects the slowest die; undo that and
+    # apply the (partially) recovered average capacity instead.
+    recovered_capacity = (
+        slowest_capacity
+        + (average_capacity - slowest_capacity) * REBALANCE_EFFICIENCY
+    )
+    improvement = recovered_capacity / slowest_capacity
+    compute_time = faulty_report.compute_time / improvement
+    other_time = faulty_report.step_time - faulty_report.compute_time
+    new_step_time = compute_time + other_time
+    if new_step_time <= 0:
+        return faulty_report.throughput
+    return model.tokens_per_batch / new_step_time

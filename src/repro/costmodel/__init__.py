@@ -1,0 +1,50 @@
+"""Wafer-centric cost models (Section VII-A).
+
+The Dual-Level Wafer Solver needs to evaluate millions of candidate
+configurations, far too many to push through the full simulator. The paper
+therefore trains a DNN surrogate on simulator data and falls back to the
+analytical expressions of Eqs. (2)-(4) for composition:
+
+* :mod:`repro.costmodel.analytical` — per-operator and whole-graph analytical
+  costs (compute, collective, P2P, and their overlap).
+* :mod:`repro.costmodel.dataset` — sample generation: random operator /
+  communication configurations labelled by the analytical simulator.
+* :mod:`repro.costmodel.features` — feature extraction shared by the learned
+  models.
+* :mod:`repro.costmodel.dnn` — a small numpy MLP regressor (the paper's DNN
+  cost model).
+* :mod:`repro.costmodel.regression` — the multivariate linear-regression
+  baseline of Fig. 21.
+* :mod:`repro.costmodel.evaluation` — correlation / relative-error metrics
+  used to validate the models (Fig. 21).
+"""
+
+from repro.costmodel.analytical import (
+    OperatorCost,
+    graph_cost,
+    intra_operator_cost,
+    inter_operator_cost,
+    resharding_bytes,
+)
+from repro.costmodel.dataset import CostSample, generate_dataset
+from repro.costmodel.features import FEATURE_NAMES, sample_features
+from repro.costmodel.dnn import MLPCostModel
+from repro.costmodel.regression import LinearCostModel
+from repro.costmodel.evaluation import correlation, mean_relative_error, evaluate_model
+
+__all__ = [
+    "OperatorCost",
+    "graph_cost",
+    "intra_operator_cost",
+    "inter_operator_cost",
+    "resharding_bytes",
+    "CostSample",
+    "generate_dataset",
+    "FEATURE_NAMES",
+    "sample_features",
+    "MLPCostModel",
+    "LinearCostModel",
+    "correlation",
+    "mean_relative_error",
+    "evaluate_model",
+]

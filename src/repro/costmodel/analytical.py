@@ -1,0 +1,221 @@
+"""Analytical per-operator and whole-graph cost model (Eqs. 2-4).
+
+The paper decomposes the cost of a compute graph into
+
+* intra-operator cost: ``Collective(Op) + max(Comp(Op), P2P(Op))`` — the
+  collective communication is exposed, while point-to-point (streaming)
+  traffic overlaps with computation,
+* inter-operator cost: the P2P resharding traffic between two operators whose
+  partitionings differ,
+
+and sums them over the graph (Eq. 4). This module evaluates those terms for a
+single operator under a :class:`~repro.parallelism.spec.ParallelSpec`, which is
+exactly the granularity the dual-level solver's dynamic program works at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.config import WaferConfig
+from repro.parallelism.comm import CollectiveType, collective_wire_bytes
+from repro.parallelism.spec import ParallelSpec
+from repro.parallelism.tatp import select_stream_tensor, StreamChoice
+from repro.simulation.communication import collective_steps, effective_bandwidth
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.graph import ComputeGraph
+from repro.workloads.operators import Operator, OperatorKind
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Cost components of one operator under one partitioning.
+
+    Attributes:
+        compute: per-device computation time in seconds (fwd + bwd).
+        collective: exposed collective-communication time in seconds.
+        p2p: overlappable point-to-point / streaming time in seconds.
+        memory_bytes: per-device resident bytes contributed by the operator.
+    """
+
+    compute: float
+    collective: float
+    p2p: float
+    memory_bytes: float
+
+    @property
+    def total(self) -> float:
+        """Eq. (2): collective plus the larger of compute and P2P."""
+        return self.collective + max(self.compute, self.p2p)
+
+
+def intra_operator_cost(
+    operator: Operator,
+    spec: ParallelSpec,
+    wafer: WaferConfig,
+    config: Optional[SimulatorConfig] = None,
+    hop_factor: int = 1,
+) -> OperatorCost:
+    """Evaluate Eq. (2) for one operator under ``spec``.
+
+    Args:
+        operator: the analytical operator.
+        spec: the hybrid partitioning applied to it.
+        wafer: wafer configuration (compute and link parameters).
+        config: simulator efficiency knobs.
+        hop_factor: physical hops per logical step of the mapping (1 when the
+            groups are contiguous).
+    """
+    config = config or SimulatorConfig()
+    devices = spec.intra_stage_degree
+
+    # Computation: the operator's FLOPs split evenly across the devices, with
+    # TATP adding per-round launch overhead.
+    flops_per_device = operator.total_flops / devices
+    sustained = wafer.die.peak_flops * config.base_mfu
+    rounds = max(1, spec.tatp)
+    compute = flops_per_device / sustained + rounds * config.kernel_overhead
+
+    # Collective communication: Megatron-style TP induces activation
+    # all-reduces on GEMM operators; FSDP gathers weights; DP reduces
+    # gradients (modelled per-operator as a share of its weights).
+    collective = 0.0
+    dtype_bytes = 2
+    output_slice = operator.output_bytes / (
+        spec.data_parallel_degree * spec.sequence_split_degree * spec.tatp)
+    if spec.tp > 1 and operator.kind in (OperatorKind.GEMM, OperatorKind.BATCHED_GEMM):
+        wire = collective_wire_bytes(CollectiveType.ALL_REDUCE, output_slice, spec.tp)
+        collective += _collective_time(
+            CollectiveType.ALL_REDUCE, wire, spec.tp, wafer, config, hop_factor)
+    if spec.fsdp > 1 and operator.weight_bytes > 0:
+        weight_shard = operator.weight_bytes / (spec.tp * spec.tatp)
+        wire = collective_wire_bytes(CollectiveType.ALL_GATHER, weight_shard, spec.fsdp)
+        collective += 2 * _collective_time(
+            CollectiveType.ALL_GATHER, wire, spec.fsdp, wafer, config, hop_factor)
+    if spec.dp > 1 and operator.weight_bytes > 0:
+        grad_shard = operator.weight_bytes / (spec.tp * spec.tatp * spec.fsdp)
+        wire = collective_wire_bytes(CollectiveType.ALL_REDUCE, grad_shard, spec.dp)
+        collective += _collective_time(
+            CollectiveType.ALL_REDUCE, wire, spec.dp, wafer, config, hop_factor)
+
+    # Point-to-point streaming: TATP relays the smaller operand each round.
+    p2p = 0.0
+    if spec.tatp > 1 and operator.kind in (OperatorKind.GEMM, OperatorKind.BATCHED_GEMM):
+        weight_shard = operator.weight_bytes / max(spec.tp, 1)
+        activation_shard = operator.input_bytes / (
+            spec.data_parallel_degree * spec.sequence_split_degree)
+        streamed = min(weight_shard, activation_shard) if operator.weight_bytes > 0 \
+            else activation_shard
+        wire = streamed * (spec.tatp - 1) / spec.tatp
+        p2p = _collective_time(
+            CollectiveType.STREAM, wire, spec.tatp, wafer, config, hop_factor)
+        # Forward, backward, and gradient stages all stream.
+        p2p *= 3.0
+
+    memory_bytes = (
+        operator.weight_bytes / (spec.tp * spec.tatp * spec.fsdp)
+        + operator.output_bytes / (
+            spec.data_parallel_degree * spec.sequence_split_degree * spec.tatp)
+    )
+    return OperatorCost(
+        compute=compute,
+        collective=collective,
+        p2p=p2p,
+        memory_bytes=memory_bytes,
+    )
+
+
+def _collective_time(
+    kind: CollectiveType,
+    wire_bytes: float,
+    group_size: int,
+    wafer: WaferConfig,
+    config: SimulatorConfig,
+    hop_factor: int,
+) -> float:
+    steps = collective_steps(kind, group_size)
+    if steps == 0 or wire_bytes <= 0:
+        return 0.0
+    chunk = wire_bytes / steps
+    bandwidth = effective_bandwidth(wafer.d2d, chunk, config)
+    return steps * hop_factor * wafer.d2d.latency + wire_bytes / bandwidth
+
+
+def resharding_bytes(
+    producer: Operator, producer_spec: ParallelSpec, consumer_spec: ParallelSpec
+) -> float:
+    """Bytes that must move when a tensor crosses a partitioning change.
+
+    When the producer and consumer use the same partitioning no data moves;
+    otherwise a fraction of the producer's output proportional to the layout
+    mismatch has to be exchanged (an all-to-all style reshard).
+    """
+    if producer_spec == consumer_spec:
+        return 0.0
+    producer_layout = (
+        producer_spec.data_parallel_degree,
+        producer_spec.sequence_split_degree,
+        producer_spec.tp,
+        producer_spec.tatp,
+    )
+    consumer_layout = (
+        consumer_spec.data_parallel_degree,
+        consumer_spec.sequence_split_degree,
+        consumer_spec.tp,
+        consumer_spec.tatp,
+    )
+    if producer_layout == consumer_layout:
+        return 0.0
+    mismatched = sum(
+        1 for a, b in zip(producer_layout, consumer_layout) if a != b)
+    fraction = mismatched / len(producer_layout)
+    devices = max(producer_spec.intra_stage_degree, 1)
+    return producer.output_bytes * fraction / devices
+
+
+def inter_operator_cost(
+    producer: Operator,
+    producer_spec: ParallelSpec,
+    consumer_spec: ParallelSpec,
+    wafer: WaferConfig,
+    config: Optional[SimulatorConfig] = None,
+    hop_factor: int = 1,
+) -> float:
+    """Eq. (3): the P2P resharding time between two adjacent operators."""
+    config = config or SimulatorConfig()
+    volume = resharding_bytes(producer, producer_spec, consumer_spec)
+    if volume <= 0:
+        return 0.0
+    bandwidth = effective_bandwidth(wafer.d2d, volume, config)
+    return hop_factor * wafer.d2d.latency + volume / bandwidth
+
+
+def graph_cost(
+    graph: ComputeGraph,
+    assignment: Dict[int, ParallelSpec],
+    wafer: WaferConfig,
+    config: Optional[SimulatorConfig] = None,
+    hop_factor: int = 1,
+) -> float:
+    """Eq. (4): total cost of a graph under a per-operator spec assignment.
+
+    Args:
+        graph: the compute graph.
+        assignment: node id -> spec chosen for that operator; every node must
+            be present.
+        wafer: wafer configuration.
+        config: simulator knobs.
+        hop_factor: mapping hop factor shared by all operators.
+    """
+    config = config or SimulatorConfig()
+    total = 0.0
+    for node in graph.nodes():
+        spec = assignment[node.node_id]
+        total += intra_operator_cost(
+            node.operator, spec, wafer, config, hop_factor).total
+    for src, dst in graph.edges():
+        total += inter_operator_cost(
+            graph.node(src).operator, assignment[src], assignment[dst],
+            wafer, config, hop_factor)
+    return total

@@ -1,0 +1,159 @@
+"""Dataset generation for the learned cost models.
+
+The paper trains its DNN cost model on a dataset profiled with ASTRA-sim
+across a range of configurations, then validates on 500 held-out cases per
+category (computation, communication, overlap). Here the analytical models of
+:mod:`repro.simulation` play the simulator's role: samples draw random operator
+shapes and parallel degrees, and the label is the latency the analytical model
+produces (with a small amount of multiplicative noise standing in for the
+simulator effects the closed forms do not capture, so that the regression
+problem is non-trivial).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.config import WaferConfig, default_wafer_config
+from repro.parallelism.comm import CollectiveType, collective_wire_bytes
+from repro.simulation.communication import collective_steps, effective_bandwidth
+from repro.simulation.config import SimulatorConfig
+
+
+@dataclass
+class CostSample:
+    """One labelled sample for the cost models.
+
+    Attributes:
+        category: "compute", "communication", or "overlap".
+        inputs: raw feature dictionary (see
+            :func:`repro.costmodel.features.sample_features`).
+        latency: the labelled latency in seconds.
+    """
+
+    category: str
+    inputs: Dict[str, float]
+    latency: float
+
+
+def _compute_latency(
+    flops: float, wafer: WaferConfig, config: SimulatorConfig, rounds: int
+) -> float:
+    sustained = wafer.die.peak_flops * config.base_mfu
+    return flops / sustained + rounds * config.kernel_overhead
+
+
+def _collective_latency(
+    kind: CollectiveType,
+    buffer_bytes: float,
+    group_size: int,
+    wafer: WaferConfig,
+    config: SimulatorConfig,
+) -> float:
+    wire = collective_wire_bytes(kind, buffer_bytes, group_size)
+    steps = collective_steps(kind, group_size)
+    if steps == 0:
+        return 0.0
+    chunk = wire / steps
+    bandwidth = effective_bandwidth(wafer.d2d, chunk, config)
+    return steps * wafer.d2d.latency + wire / bandwidth
+
+
+def generate_dataset(
+    num_samples: int = 500,
+    categories: Sequence[str] = ("compute", "communication", "overlap"),
+    seed: int = 0,
+    noise: float = 0.03,
+    wafer: Optional[WaferConfig] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> List[CostSample]:
+    """Generate labelled cost samples.
+
+    Args:
+        num_samples: samples per category.
+        categories: which categories to generate.
+        seed: RNG seed.
+        noise: multiplicative log-normal noise applied to the labels so the
+            learned models have simulator-like residuals to fit.
+        wafer: wafer configuration; defaults to Table I.
+        config: simulator knobs.
+
+    Returns:
+        ``len(categories) * num_samples`` labelled samples.
+    """
+    if num_samples <= 0:
+        raise ValueError(f"num_samples must be positive, got {num_samples}")
+    rng = random.Random(seed)
+    wafer = wafer or default_wafer_config()
+    config = config or SimulatorConfig()
+    samples: List[CostSample] = []
+    for category in categories:
+        for _ in range(num_samples):
+            samples.append(_sample_one(category, rng, wafer, config, noise))
+    return samples
+
+
+def _sample_one(
+    category: str,
+    rng: random.Random,
+    wafer: WaferConfig,
+    config: SimulatorConfig,
+    noise: float,
+) -> CostSample:
+    batch = rng.choice([1, 2, 4, 8, 16, 32, 64, 128])
+    seq = rng.choice([512, 1024, 2048, 4096, 8192, 16384])
+    hidden = rng.choice([1024, 2048, 4096, 8192, 12288])
+    intermediate = hidden * rng.choice([1, 3, 4])
+    group_size = rng.choice([2, 4, 8, 16, 32])
+    tatp = rng.choice([1, 2, 4, 8, 16])
+    dtype_bytes = 2
+
+    flops = 2.0 * batch * seq * hidden * intermediate
+    tensor_bytes = float(batch * seq * hidden * dtype_bytes)
+    weight_bytes = float(hidden * intermediate * dtype_bytes)
+
+    if category == "compute":
+        rounds = max(1, tatp)
+        latency = _compute_latency(flops / group_size, wafer, config, rounds)
+        inputs = {
+            "batch": batch, "seq": seq, "hidden": hidden,
+            "intermediate": intermediate, "flops": flops / group_size,
+            "bytes": tensor_bytes, "group_size": group_size, "tatp": tatp,
+            "steps": rounds, "is_collective": 0.0, "is_overlap": 0.0,
+        }
+    elif category == "communication":
+        kind = rng.choice([
+            CollectiveType.ALL_REDUCE, CollectiveType.ALL_GATHER,
+            CollectiveType.REDUCE_SCATTER, CollectiveType.P2P,
+        ])
+        latency = _collective_latency(kind, tensor_bytes, group_size, wafer, config)
+        wire_bytes = collective_wire_bytes(kind, tensor_bytes, group_size)
+        inputs = {
+            "batch": batch, "seq": seq, "hidden": hidden,
+            "intermediate": intermediate, "flops": 0.0,
+            "bytes": wire_bytes, "group_size": group_size, "tatp": 0,
+            "steps": collective_steps(kind, group_size),
+            "is_collective": 1.0, "is_overlap": 0.0,
+        }
+    elif category == "overlap":
+        rounds = max(2, tatp)
+        compute = _compute_latency(flops / rounds, wafer, config, rounds)
+        streamed = min(weight_bytes, tensor_bytes)
+        stream = _collective_latency(
+            CollectiveType.STREAM, streamed, rounds, wafer, config)
+        latency = max(compute, stream) + 0.05 * min(compute, stream)
+        inputs = {
+            "batch": batch, "seq": seq, "hidden": hidden,
+            "intermediate": intermediate, "flops": flops / rounds,
+            "bytes": streamed, "group_size": rounds, "tatp": rounds,
+            "steps": rounds - 1, "is_collective": 0.0, "is_overlap": 1.0,
+        }
+    else:
+        raise ValueError(f"unknown sample category '{category}'")
+
+    if noise > 0:
+        latency *= math.exp(rng.gauss(0.0, noise))
+    return CostSample(category=category, inputs=inputs, latency=latency)

@@ -1,0 +1,159 @@
+"""Numpy MLP cost model (the paper's DNN-based cost model).
+
+A small two-hidden-layer multi-layer perceptron trained with mini-batch Adam
+on log-latency targets. Inference takes a few microseconds per query, which is
+the property the paper relies on to make the DLWS search 100-1000x faster than
+re-running the simulator for every candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.dataset import CostSample
+from repro.costmodel.features import FEATURE_NAMES, feature_matrix
+
+
+@dataclass
+class _AdamState:
+    """Per-parameter Adam optimiser state."""
+
+    m: np.ndarray
+    v: np.ndarray
+
+
+class MLPCostModel:
+    """Two-hidden-layer MLP regressor over log-latency targets.
+
+    Args:
+        hidden_sizes: widths of the two hidden layers.
+        learning_rate: Adam learning rate.
+        epochs: training epochs over the dataset.
+        batch_size: mini-batch size.
+        seed: RNG seed for weight initialisation and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: Tuple[int, int] = (96, 48),
+        learning_rate: float = 2e-3,
+        epochs: int = 300,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.hidden_sizes = hidden_sizes
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._feature_mean: Optional[np.ndarray] = None
+        self._feature_std: Optional[np.ndarray] = None
+        self._fitted = False
+
+    # Training ---------------------------------------------------------------------
+
+    def fit(self, samples: Sequence[CostSample]) -> "MLPCostModel":
+        """Train the model on labelled samples and return ``self``."""
+        if not samples:
+            raise ValueError("cannot fit on an empty dataset")
+        features = feature_matrix([sample.inputs for sample in samples])
+        targets = np.log(np.maximum(
+            np.array([sample.latency for sample in samples]), 1e-12))
+        self._feature_mean = features.mean(axis=0)
+        self._feature_std = features.std(axis=0) + 1e-8
+        inputs = (features - self._feature_mean) / self._feature_std
+
+        rng = np.random.default_rng(self.seed)
+        sizes = [inputs.shape[1], *self.hidden_sizes, 1]
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        adam_w = [_AdamState(np.zeros_like(w), np.zeros_like(w)) for w in self._weights]
+        adam_b = [_AdamState(np.zeros_like(b), np.zeros_like(b)) for b in self._biases]
+
+        step = 0
+        num_samples = inputs.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(num_samples)
+            for start in range(0, num_samples, self.batch_size):
+                batch_idx = order[start:start + self.batch_size]
+                step += 1
+                grads_w, grads_b = self._gradients(
+                    inputs[batch_idx], targets[batch_idx])
+                self._adam_update(grads_w, grads_b, adam_w, adam_b, step)
+        self._fitted = True
+        return self
+
+    def _forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        activations = [inputs]
+        hidden = inputs
+        for index, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            hidden = hidden @ weight + bias
+            if index < len(self._weights) - 1:
+                hidden = np.maximum(hidden, 0.0)  # ReLU
+            activations.append(hidden)
+        return hidden.ravel(), activations
+
+    def _gradients(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        predictions, activations = self._forward(inputs)
+        batch = inputs.shape[0]
+        delta = (predictions - targets).reshape(-1, 1) * (2.0 / batch)
+        grads_w: List[np.ndarray] = [np.zeros_like(w) for w in self._weights]
+        grads_b: List[np.ndarray] = [np.zeros_like(b) for b in self._biases]
+        for layer in reversed(range(len(self._weights))):
+            grads_w[layer] = activations[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self._weights[layer].T
+                delta *= (activations[layer] > 0.0)
+        return grads_w, grads_b
+
+    def _adam_update(
+        self,
+        grads_w: List[np.ndarray],
+        grads_b: List[np.ndarray],
+        adam_w: List[_AdamState],
+        adam_b: List[_AdamState],
+        step: int,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        for params, grads, states in (
+            (self._weights, grads_w, adam_w),
+            (self._biases, grads_b, adam_b),
+        ):
+            for index, (param, grad, state) in enumerate(zip(params, grads, states)):
+                state.m = beta1 * state.m + (1 - beta1) * grad
+                state.v = beta2 * state.v + (1 - beta2) * grad ** 2
+                m_hat = state.m / (1 - beta1 ** step)
+                v_hat = state.v / (1 - beta2 ** step)
+                params[index] = param - self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    # Inference ---------------------------------------------------------------------
+
+    def predict(self, samples: Sequence[CostSample]) -> np.ndarray:
+        """Predict latencies (seconds) for labelled or unlabelled samples."""
+        return self.predict_inputs([sample.inputs for sample in samples])
+
+    def predict_inputs(self, inputs: Sequence[Dict[str, float]]) -> np.ndarray:
+        """Predict latencies from raw feature dictionaries."""
+        if not self._fitted:
+            raise RuntimeError("the model must be fitted before predicting")
+        features = feature_matrix(list(inputs))
+        normalized = (features - self._feature_mean) / self._feature_std
+        log_latency, _ = self._forward(normalized)
+        return np.exp(log_latency)
+
+    def predict_one(self, inputs: Dict[str, float]) -> float:
+        """Predict the latency of a single configuration."""
+        return float(self.predict_inputs([inputs])[0])

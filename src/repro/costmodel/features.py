@@ -1,0 +1,70 @@
+"""Feature extraction shared by the learned cost models.
+
+The learned models predict latencies of three categories of measurements
+(Fig. 21): single-operator computation, collective/point-to-point
+communication, and computation overlapped with TATP streaming. A sample is
+described by the operator dimensions, the parallel degrees, and the derived
+volumes (FLOPs, bytes), log-transformed so the MLP sees well-conditioned
+inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Ordered feature names; the arrays produced by :func:`sample_features` follow
+#: this order.
+FEATURE_NAMES: List[str] = [
+    "log_batch",
+    "log_seq",
+    "log_hidden",
+    "log_intermediate",
+    "log_flops",
+    "log_bytes",
+    "log_group_size",
+    "log_tatp",
+    "log_steps",
+    "is_collective",
+    "is_overlap",
+]
+
+
+def _log1p(value: float) -> float:
+    return math.log1p(max(value, 0.0))
+
+
+def sample_features(sample: Dict[str, float]) -> np.ndarray:
+    """Convert a raw sample dictionary into the model feature vector.
+
+    Args:
+        sample: dictionary with (a superset of) the keys ``batch``, ``seq``,
+            ``hidden``, ``intermediate``, ``flops``, ``bytes``, ``group_size``,
+            ``tatp``, ``steps``, ``is_collective`` and ``is_overlap``; missing
+            keys default to zero.
+
+    Returns:
+        A float64 vector ordered as :data:`FEATURE_NAMES`.
+    """
+    return np.array([
+        _log1p(sample.get("batch", 0.0)),
+        _log1p(sample.get("seq", 0.0)),
+        _log1p(sample.get("hidden", 0.0)),
+        _log1p(sample.get("intermediate", 0.0)),
+        _log1p(sample.get("flops", 0.0)),
+        _log1p(sample.get("bytes", 0.0)),
+        _log1p(sample.get("group_size", 0.0)),
+        _log1p(sample.get("tatp", 0.0)),
+        _log1p(sample.get("steps", 0.0)),
+        float(sample.get("is_collective", 0.0)),
+        float(sample.get("is_overlap", 0.0)),
+    ], dtype=np.float64)
+
+
+def feature_matrix(samples: Sequence[Dict[str, float]]) -> np.ndarray:
+    """Stack feature vectors of many samples into a (n, d) matrix."""
+    if not samples:
+        return np.empty((0, len(FEATURE_NAMES)))
+    return np.vstack([sample_features(sample) for sample in samples])

@@ -1,0 +1,31 @@
+"""Experiment runners — one per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function returning plain dictionaries/lists so
+the benchmark harness (``benchmarks/``) can both time the experiment and print
+the same rows/series the paper reports, and so ``EXPERIMENTS.md`` can be
+regenerated from the same source of truth.
+
+| Figure | Runner |
+|--------|--------|
+| Fig. 4(b)/(c) | :mod:`repro.experiments.fig04_motivation` |
+| Fig. 7(c)     | :mod:`repro.experiments.fig07_ring_utilization` |
+| Fig. 9        | :mod:`repro.experiments.fig09_sweet_spot` |
+| Fig. 13       | :mod:`repro.experiments.fig13_overall` |
+| Fig. 14       | :mod:`repro.experiments.fig14_power` |
+| Fig. 15       | :mod:`repro.experiments.fig15_gpu_comparison` |
+| Fig. 16       | :mod:`repro.experiments.fig16_ablation` |
+| Fig. 17       | :mod:`repro.experiments.fig17_parallel_configs` |
+| Fig. 18       | :mod:`repro.experiments.fig18_convergence` |
+| Fig. 19       | :mod:`repro.experiments.fig19_multiwafer` |
+| Fig. 20       | :mod:`repro.experiments.fig20_fault_tolerance` |
+| Fig. 21       | :mod:`repro.experiments.fig21_cost_model` |
+| §VIII-H       | :mod:`repro.experiments.search_time` |
+"""
+
+from repro.experiments.fig13_overall import run_overall_comparison
+from repro.experiments.fig16_ablation import run_ablation
+
+__all__ = [
+    "run_overall_comparison",
+    "run_ablation",
+]

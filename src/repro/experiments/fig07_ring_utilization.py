@@ -1,0 +1,102 @@
+"""Fig. 7(c): compute utilisation of physical vs logical (non-contiguous) rings.
+
+A TATP group mapped onto a contiguous physical ring pays one-hop transfers
+only; a group scattered across the wafer ("logical ring") pays multi-hop
+relays that stall computation. The figure sweeps wafer sizes and shows the
+utilisation gap growing past 30% for large wafers — the motivation for TATP's
+topology awareness.
+
+The runner evaluates the same TATP plan twice: once mapped by TCME (snake
+ordering, contiguous chains) and once with a deliberately scattered group
+assignment, and reports the achieved compute utilisation of both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hardware.config import default_wafer_config
+from repro.hardware.wafer import WaferScaleChip
+from repro.mapping.engines import SMapEngine, TCMEEngine, MappingEngine
+from repro.parallelism.spec import ParallelSpec
+from repro.parallelism.strategies import analyze_model
+from repro.simulation.config import SimulatorConfig
+from repro.simulation.simulator import WaferSimulator
+from repro.workloads.models import get_model
+
+#: (rows, cols) wafer sizes swept by the figure, smallest to largest.
+WAFER_SIZES: List[Tuple[int, int]] = [(4, 5), (4, 8), (6, 8), (8, 10)]
+
+#: Models of the sweep.
+MODELS = ["llama2-7b", "llama2-30b", "llama2-70b"]
+
+
+class ScatteredEngine(SMapEngine):
+    """A mapper that deliberately scatters group members across the wafer.
+
+    Logical neighbours land on dies that are far apart (stride-based
+    interleaving), forcing every TATP relay and ring step onto multi-hop
+    paths: the "logical ring" case of the figure.
+    """
+
+    name = "scattered"
+
+    def _die_ordering(self, wafer, plan):  # noqa: D102 - see class docstring
+        dies = wafer.healthy_dies()
+        half = (len(dies) + 1) // 2
+        interleaved: List[int] = []
+        for index in range(half):
+            interleaved.append(dies[index])
+            if index + half < len(dies):
+                interleaved.append(dies[index + half])
+        return interleaved
+
+
+@dataclass
+class RingUtilizationRow:
+    """Utilisation of one (model, wafer size) pair under both mappings."""
+
+    model: str
+    wafer_dies: int
+    physical_ring_utilization: float
+    logical_ring_utilization: float
+
+    @property
+    def utilization_drop(self) -> float:
+        """Relative utilisation lost by the non-contiguous mapping."""
+        if self.physical_ring_utilization <= 0:
+            return 0.0
+        return 1.0 - self.logical_ring_utilization / self.physical_ring_utilization
+
+
+def run_ring_utilization(
+    models: Optional[Sequence[str]] = None,
+    wafer_sizes: Optional[Sequence[Tuple[int, int]]] = None,
+    tatp_degree: int = 8,
+    config: Optional[SimulatorConfig] = None,
+) -> List[RingUtilizationRow]:
+    """Run the Fig. 7(c) sweep."""
+    model_names = list(models) if models is not None else list(MODELS)
+    sizes = list(wafer_sizes) if wafer_sizes is not None else list(WAFER_SIZES)
+    config = config or SimulatorConfig()
+    rows: List[RingUtilizationRow] = []
+    for rows_cols in sizes:
+        wafer = WaferScaleChip(default_wafer_config(*rows_cols))
+        num_dies = wafer.num_dies
+        if num_dies % tatp_degree:
+            continue
+        for name in model_names:
+            model = get_model(name)
+            spec = ParallelSpec(dp=num_dies // tatp_degree, tatp=tatp_degree)
+            plan = analyze_model(model, spec, num_devices=num_dies)
+            simulator = WaferSimulator(wafer, config)
+            physical = simulator.simulate_with_engine(plan, TCMEEngine())
+            logical = simulator.simulate_with_engine(plan, ScatteredEngine())
+            rows.append(RingUtilizationRow(
+                model=name,
+                wafer_dies=num_dies,
+                physical_ring_utilization=physical.compute_utilization,
+                logical_ring_utilization=logical.compute_utilization,
+            ))
+    return rows

@@ -1,0 +1,181 @@
+"""Fig. 13: overall training-performance comparison.
+
+Six baselines (three partitioning schemes x two mapping engines) plus TEMP are
+evaluated on the Table II models. For each cell the runner reports the
+normalised training latency with its computation / communication breakdown,
+the peak per-die memory, and whether the configuration ran out of memory —
+exactly the quantities the figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.framework import BaselineResult, TEMP, evaluate_baseline
+from repro.core.metrics import geometric_mean
+from repro.hardware.wafer import WaferScaleChip
+from repro.parallelism.baselines import BaselineScheme
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.models import TABLE_II_MODELS, get_model
+
+#: The six baseline (scheme, engine) pairs of the figure, in label order.
+BASELINE_GRID = [
+    (BaselineScheme.MEGATRON1, "smap", "Mega+SMap"),
+    (BaselineScheme.MEGATRON1, "gmap", "Mega+GMap"),
+    (BaselineScheme.MESP, "smap", "MeSP+SMap"),
+    (BaselineScheme.MESP, "gmap", "MeSP+GMap"),
+    (BaselineScheme.FSDP, "smap", "FSDP+SMap"),
+    (BaselineScheme.FSDP, "gmap", "FSDP+GMap"),
+]
+
+#: Short model list used by fast test runs.
+FAST_MODELS = ["gpt3-6.7b", "llama3-70b"]
+
+
+@dataclass
+class OverallCell:
+    """One (model, system) cell of Fig. 13."""
+
+    model: str
+    system: str
+    spec: str
+    oom: bool
+    step_time: float
+    compute_time: float
+    comm_time: float
+    memory_gb: float
+    throughput: float
+    power_efficiency: float
+
+
+@dataclass
+class OverallComparison:
+    """All cells of Fig. 13 plus the headline speedups of §VIII-B."""
+
+    cells: List[OverallCell] = field(default_factory=list)
+
+    def systems(self) -> List[str]:
+        """System labels in presentation order."""
+        ordered: List[str] = []
+        for cell in self.cells:
+            if cell.system not in ordered:
+                ordered.append(cell.system)
+        return ordered
+
+    def models(self) -> List[str]:
+        """Model names in presentation order."""
+        ordered: List[str] = []
+        for cell in self.cells:
+            if cell.model not in ordered:
+                ordered.append(cell.model)
+        return ordered
+
+    def cell(self, model: str, system: str) -> OverallCell:
+        """Look up one cell."""
+        for candidate in self.cells:
+            if candidate.model == model and candidate.system == system:
+                return candidate
+        raise KeyError(f"no cell for model={model} system={system}")
+
+    def speedup_over(self, system: str) -> float:
+        """Geometric-mean TEMP speedup over ``system`` across non-OOM models."""
+        ratios: List[float] = []
+        for model in self.models():
+            baseline = self.cell(model, system)
+            temp = self.cell(model, "TEMP")
+            if baseline.oom or temp.oom:
+                continue
+            ratios.append(baseline.step_time / temp.step_time)
+        return geometric_mean(ratios) if ratios else 0.0
+
+    def average_speedups(self) -> Dict[str, float]:
+        """TEMP speedup over every baseline system (§VIII-B headline numbers)."""
+        return {
+            system: self.speedup_over(system)
+            for system in self.systems() if system != "TEMP"
+        }
+
+    def normalized_latency(self, model: str) -> Dict[str, float]:
+        """Per-model latencies normalised to the slowest non-OOM system."""
+        times = {
+            system: self.cell(model, system).step_time
+            for system in self.systems()
+            if not self.cell(model, system).oom
+        }
+        if not times:
+            return {}
+        slowest = max(times.values())
+        return {system: time / slowest for system, time in times.items()}
+
+    def memory_ratio(self, model: str) -> Dict[str, float]:
+        """Per-model peak memory of TEMP relative to each baseline."""
+        temp_memory = self.cell(model, "TEMP").memory_gb
+        ratios: Dict[str, float] = {}
+        for system in self.systems():
+            if system == "TEMP":
+                continue
+            baseline = self.cell(model, system)
+            if baseline.memory_gb > 0:
+                ratios[system] = temp_memory / baseline.memory_gb
+        return ratios
+
+
+def run_overall_comparison(
+    models: Optional[Sequence[str]] = None,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> OverallComparison:
+    """Run the Fig. 13 grid.
+
+    Args:
+        models: model names to evaluate (defaults to all of Table II).
+        wafer: wafer configuration (defaults to the 4x8 Table I wafer).
+        config: simulator knobs.
+
+    Returns:
+        The populated :class:`OverallComparison`.
+    """
+    model_names = list(models) if models is not None else list(TABLE_II_MODELS)
+    wafer = wafer or WaferScaleChip()
+    comparison = OverallComparison()
+    for name in model_names:
+        model = get_model(name)
+        for scheme, engine, label in BASELINE_GRID:
+            result = evaluate_baseline(scheme, engine, model, wafer=wafer,
+                                       config=config)
+            comparison.cells.append(_cell_from(name, label, result))
+        temp_result = TEMP(wafer=wafer, config=config).optimize(model)
+        comparison.cells.append(_cell_from(name, "TEMP", temp_result))
+    return comparison
+
+
+def _cell_from(model: str, system: str, result: BaselineResult) -> OverallCell:
+    report = result.report
+    return OverallCell(
+        model=model,
+        system=system,
+        spec=result.best_spec.label() if result.best_spec else "-",
+        oom=result.oom,
+        step_time=report.step_time if report else float("inf"),
+        compute_time=report.compute_time if report else 0.0,
+        comm_time=report.total_comm_time if report else 0.0,
+        memory_gb=report.memory.total / (1024 ** 3) if report else 0.0,
+        throughput=report.throughput if report else 0.0,
+        power_efficiency=report.power_efficiency if report else 0.0,
+    )
+
+
+def format_table(comparison: OverallComparison) -> str:
+    """Human-readable table of the comparison (used by the bench printout)."""
+    lines = ["model            system      spec                              "
+             "OOM   step(s)  comm(s)  mem(GB)  tok/s"]
+    for cell in comparison.cells:
+        lines.append(
+            f"{cell.model:<16} {cell.system:<11} {cell.spec:<33} "
+            f"{'yes' if cell.oom else 'no ':<5} {cell.step_time:8.3f} "
+            f"{cell.comm_time:8.3f} {cell.memory_gb:8.1f} {cell.throughput:10.0f}")
+    speedups = comparison.average_speedups()
+    lines.append("TEMP average speedups: " + ", ".join(
+        f"{system}: {value:.2f}x" for system, value in speedups.items()))
+    return "\n".join(lines)

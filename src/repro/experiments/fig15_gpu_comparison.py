@@ -1,0 +1,110 @@
+"""Fig. 15: wafer-scale chip vs GPU cluster.
+
+A 32-die WSC is compared against a 4-node x 8-A100 cluster of matching
+aggregate FP16 peak. The GPU cluster runs Megatron-3 (MeSP); the wafer runs
+MeSP (mapped with GMap) and TEMP. The paper finds the GPU cluster slightly
+ahead of the wafer when both run MeSP (hybrid parallelism doesn't fit the
+mesh), while Wafer+TEMP overtakes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.framework import TEMP, evaluate_baseline
+from repro.hardware.gpu_cluster import GPUCluster
+from repro.hardware.wafer import WaferScaleChip
+from repro.parallelism.baselines import BaselineScheme, candidate_specs
+from repro.parallelism.strategies import analyze_model
+from repro.simulation.config import SimulatorConfig
+from repro.simulation.gpu import GPUClusterSimulator
+from repro.solver.search_space import prune_specs
+from repro.workloads.models import TABLE_II_MODELS, get_model
+
+
+@dataclass
+class GPUComparisonRow:
+    """Latency / throughput of one model on the three systems."""
+
+    model: str
+    gpu_mesp_time: float
+    wafer_mesp_time: float
+    wafer_temp_time: float
+    gpu_mesp_throughput: float
+    wafer_mesp_throughput: float
+    wafer_temp_throughput: float
+
+    @property
+    def temp_speedup_over_gpu(self) -> float:
+        """Wafer+TEMP speedup over GPU+MeSP."""
+        if self.wafer_temp_time <= 0:
+            return 0.0
+        return self.gpu_mesp_time / self.wafer_temp_time
+
+    @property
+    def temp_speedup_over_wafer_mesp(self) -> float:
+        """Wafer+TEMP speedup over Wafer+MeSP."""
+        if self.wafer_temp_time <= 0:
+            return 0.0
+        return self.wafer_mesp_time / self.wafer_temp_time
+
+
+def run_gpu_comparison(
+    models: Optional[Sequence[str]] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> List[GPUComparisonRow]:
+    """Run the Fig. 15 comparison on a 32-die wafer vs a 32-GPU cluster."""
+    model_names = list(models) if models is not None else list(TABLE_II_MODELS)
+    config = config or SimulatorConfig()
+    wafer = WaferScaleChip()
+    cluster = GPUCluster()
+    gpu_simulator = GPUClusterSimulator(cluster, config)
+
+    rows: List[GPUComparisonRow] = []
+    for name in model_names:
+        model = get_model(name)
+        gpu_time, gpu_throughput = _best_gpu_mesp(model, cluster, gpu_simulator)
+        wafer_mesp = evaluate_baseline(
+            BaselineScheme.MESP, "gmap", model, wafer=wafer, config=config)
+        wafer_temp = TEMP(wafer=wafer, config=config).optimize(model)
+        rows.append(GPUComparisonRow(
+            model=name,
+            gpu_mesp_time=gpu_time,
+            wafer_mesp_time=(
+                wafer_mesp.report.step_time if wafer_mesp.report else float("inf")),
+            wafer_temp_time=(
+                wafer_temp.report.step_time if wafer_temp.report else float("inf")),
+            gpu_mesp_throughput=gpu_throughput,
+            wafer_mesp_throughput=(
+                wafer_mesp.report.throughput if wafer_mesp.report else 0.0),
+            wafer_temp_throughput=(
+                wafer_temp.report.throughput if wafer_temp.report else 0.0),
+        ))
+    return rows
+
+
+def _best_gpu_mesp(
+    model, cluster: GPUCluster, simulator: GPUClusterSimulator
+) -> (float, float):
+    """Best MeSP configuration on the GPU cluster (time, throughput)."""
+    num_devices = cluster.num_devices
+    specs = candidate_specs(
+        BaselineScheme.MESP, num_devices,
+        max_tp=min(8, model.num_heads))
+    best_time = float("inf")
+    best_throughput = 0.0
+    for spec in specs:
+        plan = analyze_model(model, spec, num_devices=num_devices)
+        report = simulator.simulate(plan)
+        if report.oom:
+            checkpointed = analyze_model(
+                model, spec, num_devices=num_devices,
+                activation_checkpointing=True)
+            report = simulator.simulate(checkpointed)
+            if report.oom:
+                continue
+        if report.step_time < best_time:
+            best_time = report.step_time
+            best_throughput = report.throughput
+    return best_time, best_throughput

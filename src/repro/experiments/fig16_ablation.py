@@ -1,0 +1,96 @@
+"""Fig. 16: ablation of TEMP's components.
+
+Starting from the FSDP+SMap baseline (the only baseline that never OOMs), the
+runner incrementally enables TEMP's two optimisations:
+
+* **Base** — FSDP partitioning mapped by the naive sequential mapper,
+* **Base+TATP** — the TATP-enabled configuration space, still mapped naively,
+* **Base+TATP+TCME** — the full framework (TATP + traffic-conscious mapping).
+
+The figure reports throughput normalised to the base for each model; the paper
+finds ~1.21x from TATP and a further ~1.14x from TCME on average, growing with
+model size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.framework import TEMP, evaluate_baseline
+from repro.core.metrics import geometric_mean
+from repro.hardware.wafer import WaferScaleChip
+from repro.parallelism.baselines import BaselineScheme
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.models import TABLE_II_MODELS, get_model
+
+#: Ablation step labels, in order.
+ABLATION_STEPS = ["base", "base+tatp", "base+tatp+tcme"]
+
+
+@dataclass
+class AblationRow:
+    """Throughput of one model under the three ablation steps."""
+
+    model: str
+    throughput: Dict[str, float] = field(default_factory=dict)
+    specs: Dict[str, str] = field(default_factory=dict)
+
+    def normalized(self) -> Dict[str, float]:
+        """Throughput normalised to the base configuration."""
+        base = self.throughput.get("base", 0.0)
+        if base <= 0:
+            return {step: 0.0 for step in self.throughput}
+        return {step: value / base for step, value in self.throughput.items()}
+
+
+@dataclass
+class AblationStudy:
+    """All rows of Fig. 16."""
+
+    rows: List[AblationRow] = field(default_factory=list)
+
+    def average_gain(self, step: str, relative_to: str) -> float:
+        """Geometric-mean throughput gain of ``step`` over ``relative_to``."""
+        gains: List[float] = []
+        for row in self.rows:
+            if row.throughput.get(relative_to, 0.0) <= 0:
+                continue
+            gains.append(row.throughput[step] / row.throughput[relative_to])
+        return geometric_mean(gains) if gains else 0.0
+
+
+def run_ablation(
+    models: Optional[Sequence[str]] = None,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> AblationStudy:
+    """Run the Fig. 16 ablation."""
+    model_names = list(models) if models is not None else list(TABLE_II_MODELS)
+    wafer = wafer or WaferScaleChip()
+    study = AblationStudy()
+    for name in model_names:
+        model = get_model(name)
+        row = AblationRow(model=name)
+
+        base = evaluate_baseline(
+            BaselineScheme.FSDP, "smap", model, wafer=wafer, config=config)
+        row.throughput["base"] = base.report.throughput if base.report else 0.0
+        row.specs["base"] = base.best_spec.label() if base.best_spec else "-"
+
+        with_tatp = TEMP(wafer=wafer, config=config,
+                         enable_tatp=True, enable_tcme=False).optimize(model)
+        row.throughput["base+tatp"] = (
+            with_tatp.report.throughput if with_tatp.report else 0.0)
+        row.specs["base+tatp"] = (
+            with_tatp.best_spec.label() if with_tatp.best_spec else "-")
+
+        full = TEMP(wafer=wafer, config=config,
+                    enable_tatp=True, enable_tcme=True).optimize(model)
+        row.throughput["base+tatp+tcme"] = (
+            full.report.throughput if full.report else 0.0)
+        row.specs["base+tatp+tcme"] = (
+            full.best_spec.label() if full.best_spec else "-")
+
+        study.rows.append(row)
+    return study

@@ -1,0 +1,152 @@
+"""Fig. 17 / Fig. 18: throughput across mixed-parallelism configurations.
+
+Fig. 17 sweeps (DP, TP, SP, TATP) configurations of Llama2 7B on a 32-die
+wafer under the TCME mapping engine, for short (2k) and long (16k) sequences.
+Fig. 18 repeats the exercise for the GPT-3 models and reports which
+configuration wins; the paper's observation is that the winning TATP degree
+consistently lands around 8-16 while the DP/TP/SP mix shifts with sequence
+length and model size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.wafer import WaferScaleChip
+from repro.parallelism.spec import ParallelSpec
+from repro.parallelism.strategies import analyze_model
+from repro.simulation.config import SimulatorConfig
+from repro.simulation.simulator import WaferSimulator
+from repro.workloads.models import get_model
+
+
+@dataclass
+class ConfigThroughput:
+    """Throughput of one (DP, TP, SP, TATP) configuration."""
+
+    dp: int
+    tp: int
+    sp: int
+    tatp: int
+    throughput: float
+    step_time: float
+    memory_gb: float
+    oom: bool
+
+    @property
+    def label(self) -> str:
+        """The paper's (DP, TP, SP, TATP) tuple notation."""
+        return f"({self.dp},{self.tp},{self.sp},{self.tatp})"
+
+
+@dataclass
+class ConfigSweep:
+    """All configurations of one (model, sequence length) sweep."""
+
+    model: str
+    seq_length: int
+    configs: List[ConfigThroughput] = field(default_factory=list)
+
+    def best(self) -> ConfigThroughput:
+        """The highest-throughput non-OOM configuration."""
+        feasible = [config for config in self.configs if not config.oom]
+        if not feasible:
+            raise ValueError(f"every configuration of {self.model} went OOM")
+        return max(feasible, key=lambda config: config.throughput)
+
+    def best_with_tatp(self) -> ConfigThroughput:
+        """The best configuration that uses TATP (degree > 1)."""
+        feasible = [c for c in self.configs if not c.oom and c.tatp > 1]
+        if not feasible:
+            raise ValueError(f"no feasible TATP configuration for {self.model}")
+        return max(feasible, key=lambda config: config.throughput)
+
+    def best_without_tatp(self) -> ConfigThroughput:
+        """The best configuration without TATP (the 'best of Mega' reference)."""
+        feasible = [c for c in self.configs if not c.oom and c.tatp == 1]
+        if not feasible:
+            raise ValueError(f"no feasible non-TATP configuration for {self.model}")
+        return max(feasible, key=lambda config: config.throughput)
+
+    def normalized(self) -> Dict[str, float]:
+        """Throughputs normalised to the best non-TATP configuration."""
+        try:
+            reference = self.best_without_tatp().throughput
+        except ValueError:
+            reference = 0.0
+        if reference <= 0:
+            return {config.label: 0.0 for config in self.configs}
+        return {
+            config.label: config.throughput / reference
+            for config in self.configs
+        }
+
+
+def enumerate_configs(num_devices: int, max_tatp: int = 32) -> List[ParallelSpec]:
+    """All (DP, TP, SP, TATP) combinations filling ``num_devices`` devices."""
+    return [
+        spec for spec in ParallelSpec.enumerate(
+            num_devices, dimensions=("dp", "tp", "sp", "tatp"))
+        if spec.tatp <= max_tatp
+    ]
+
+
+def run_config_sweep(
+    model_name: str = "llama2-7b",
+    seq_length: int = 2048,
+    batch_size: Optional[int] = None,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+    engine: str = "tcme",
+    max_tatp: int = 32,
+) -> ConfigSweep:
+    """Sweep every (DP, TP, SP, TATP) configuration of one model.
+
+    Fig. 17(a) uses batch 128 with 2k sequences; Fig. 17(b) uses batch 32 with
+    16k sequences (long-sequence training shrinks the batch).
+    """
+    wafer = wafer or WaferScaleChip()
+    config = config or SimulatorConfig()
+    simulator = WaferSimulator(wafer, config)
+    base_model = get_model(model_name)
+    if batch_size is None:
+        batch_size = 128 if seq_length <= 4096 else 32
+    model = base_model.with_overrides(batch_size=batch_size, seq_length=seq_length)
+
+    sweep = ConfigSweep(model=model_name, seq_length=seq_length)
+    for spec in enumerate_configs(wafer.num_dies, max_tatp=max_tatp):
+        if spec.tp > model.num_heads:
+            continue
+        plan = analyze_model(model, spec, num_devices=wafer.num_dies)
+        report = simulator.simulate(plan, engine=engine)
+        if report.oom:
+            checkpointed = analyze_model(
+                model, spec, num_devices=wafer.num_dies,
+                activation_checkpointing=True)
+            retry = simulator.simulate(checkpointed, engine=engine)
+            if not retry.oom:
+                report = retry
+        sweep.configs.append(ConfigThroughput(
+            dp=spec.dp, tp=spec.tp, sp=spec.sp, tatp=spec.tatp,
+            throughput=report.throughput,
+            step_time=report.step_time,
+            memory_gb=report.memory.total / (1024 ** 3),
+            oom=report.oom,
+        ))
+    return sweep
+
+
+def run_convergence_study(
+    model_names: Sequence[str] = ("gpt3-6.7b", "gpt3-76b", "gpt3-175b"),
+    seq_lengths: Sequence[int] = (2048, 16384),
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> Dict[Tuple[str, int], ConfigSweep]:
+    """Fig. 18: best configurations of the GPT-3 models for short/long sequences."""
+    results: Dict[Tuple[str, int], ConfigSweep] = {}
+    for name in model_names:
+        for seq in seq_lengths:
+            results[(name, seq)] = run_config_sweep(
+                model_name=name, seq_length=seq, wafer=wafer, config=config)
+    return results

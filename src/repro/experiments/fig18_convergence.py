@@ -1,0 +1,43 @@
+"""Fig. 18: convergence of the optimal TATP dimension.
+
+Thin wrapper around the Fig. 17 sweep machinery applied to the GPT-3 models
+for short (2k) and long (16k) sequences: the paper's claim is that regardless
+of model size and sequence length, the winning configuration's TATP degree
+converges to 8 or 16, while the DP/TP/SP mix shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.fig17_parallel_configs import ConfigSweep, run_config_sweep
+from repro.hardware.wafer import WaferScaleChip
+from repro.simulation.config import SimulatorConfig
+
+#: Models and sequence lengths of Fig. 18.
+CONVERGENCE_MODELS = ("gpt3-6.7b", "gpt3-76b", "gpt3-175b")
+CONVERGENCE_SEQ_LENGTHS = (2048, 16384)
+
+
+def run_convergence(
+    model_names: Sequence[str] = CONVERGENCE_MODELS,
+    seq_lengths: Sequence[int] = CONVERGENCE_SEQ_LENGTHS,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> Dict[Tuple[str, int], ConfigSweep]:
+    """Run the Fig. 18 sweeps and return one ConfigSweep per (model, seq)."""
+    results: Dict[Tuple[str, int], ConfigSweep] = {}
+    for name in model_names:
+        for seq in seq_lengths:
+            results[(name, seq)] = run_config_sweep(
+                model_name=name, seq_length=seq, wafer=wafer, config=config)
+    return results
+
+
+def optimal_tatp_degrees(
+    results: Dict[Tuple[str, int], ConfigSweep]
+) -> Dict[Tuple[str, int], int]:
+    """TATP degree of the winning configuration of each sweep."""
+    return {
+        key: sweep.best().tatp for key, sweep in results.items()
+    }

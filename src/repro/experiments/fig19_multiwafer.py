@@ -1,0 +1,124 @@
+"""Fig. 19: multi-wafer scalability.
+
+Larger-than-one-wafer models (GPT-3 175B on two wafers, Grok-1 341B and
+Llama3 405B on four, a 504B GPT-3 variant on six) are trained with pipeline
+parallelism across wafers. The baselines are forced into high pipeline
+degrees (and hence large bubbles) because they lack a wafer-tailored
+parallelism; TEMP's TATP keeps the pipeline degree low and wins by 1.2-1.6x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.multiwafer import MultiWaferResult, evaluate_multiwafer
+from repro.parallelism.baselines import BaselineScheme
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.models import MULTI_WAFER_MODELS, get_model
+
+#: The (scheme, engine, label) grid of Fig. 19 (same systems as Fig. 13).
+MULTI_WAFER_GRID = [
+    (BaselineScheme.MEGATRON1, "smap", "Mega+SMap"),
+    (BaselineScheme.MEGATRON1, "gmap", "Mega+GMap"),
+    (BaselineScheme.MESP, "smap", "MeSP+SMap"),
+    (BaselineScheme.MESP, "gmap", "MeSP+GMap"),
+    (BaselineScheme.FSDP, "smap", "FSDP+SMap"),
+    (BaselineScheme.FSDP, "gmap", "FSDP+GMap"),
+    (BaselineScheme.TEMP, "tcme", "TEMP"),
+]
+
+
+@dataclass
+class MultiWaferCell:
+    """One (model, system) cell of Fig. 19."""
+
+    model: str
+    system: str
+    num_wafers: int
+    spec: str
+    pp_degree: int
+    step_time: float
+    compute_time: float
+    comm_time: float
+    bubble_time: float
+    throughput: float
+    oom: bool
+
+
+@dataclass
+class MultiWaferStudy:
+    """All cells of Fig. 19."""
+
+    cells: List[MultiWaferCell] = field(default_factory=list)
+
+    def cell(self, model: str, system: str) -> MultiWaferCell:
+        """Look up one cell."""
+        for candidate in self.cells:
+            if candidate.model == model and candidate.system == system:
+                return candidate
+        raise KeyError(f"no cell for model={model} system={system}")
+
+    def systems(self) -> List[str]:
+        """System labels in presentation order."""
+        ordered: List[str] = []
+        for cell in self.cells:
+            if cell.system not in ordered:
+                ordered.append(cell.system)
+        return ordered
+
+    def models(self) -> List[str]:
+        """Model names in presentation order."""
+        ordered: List[str] = []
+        for cell in self.cells:
+            if cell.model not in ordered:
+                ordered.append(cell.model)
+        return ordered
+
+    def temp_speedup(self, model: str, system: str) -> float:
+        """TEMP speedup over ``system`` for ``model``."""
+        baseline = self.cell(model, system)
+        temp = self.cell(model, "TEMP")
+        if temp.step_time <= 0 or baseline.oom:
+            return 0.0
+        return baseline.step_time / temp.step_time
+
+
+def run_multiwafer_study(
+    models: Optional[Dict[str, int]] = None,
+    systems: Optional[Sequence[Tuple[BaselineScheme, str, str]]] = None,
+    config: Optional[SimulatorConfig] = None,
+    num_microbatches: int = 16,
+) -> MultiWaferStudy:
+    """Run the Fig. 19 study.
+
+    Args:
+        models: mapping of model name -> wafer count (defaults to the paper's
+            four models).
+        systems: (scheme, engine, label) triples to evaluate.
+        config: simulator knobs.
+        num_microbatches: pipeline microbatches per step.
+    """
+    model_map = dict(models) if models is not None else dict(MULTI_WAFER_MODELS)
+    grid = list(systems) if systems is not None else list(MULTI_WAFER_GRID)
+    study = MultiWaferStudy()
+    for name, num_wafers in model_map.items():
+        model = get_model(name)
+        for scheme, engine, label in grid:
+            result = evaluate_multiwafer(
+                scheme, engine, model, num_wafers,
+                config=config, num_microbatches=num_microbatches)
+            study.cells.append(MultiWaferCell(
+                model=name,
+                system=label,
+                num_wafers=num_wafers,
+                spec=result.best_spec.label() if result.best_spec else "-",
+                pp_degree=result.best_spec.pp if result.best_spec else 0,
+                step_time=result.step_time,
+                compute_time=result.compute_time,
+                comm_time=result.comm_time,
+                bubble_time=result.bubble_time,
+                throughput=result.throughput,
+                oom=result.oom,
+            ))
+    return study

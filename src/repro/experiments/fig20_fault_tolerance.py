@@ -1,0 +1,88 @@
+"""Fig. 20: fault tolerance.
+
+Throughput is swept against (b) the link-fault rate and (c) the core-fault
+rate. The paper finds a throughput cliff once roughly 35% of the links have
+failed (the mesh loses the contiguous paths TATP and the collectives rely on),
+but only graceful degradation under core faults because the framework
+re-balances tensor partitions to the surviving compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.fault_tolerance import evaluate_with_faults
+from repro.hardware.faults import FaultModel
+from repro.parallelism.spec import ParallelSpec
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.models import get_model
+
+#: Link-fault rates swept in Fig. 20(b).
+LINK_FAULT_RATES = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8]
+
+#: Core-fault rates swept in Fig. 20(c).
+CORE_FAULT_RATES = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25]
+
+
+@dataclass
+class FaultSweepPoint:
+    """Normalised throughput at one fault rate."""
+
+    fault_rate: float
+    relative_throughput: float
+
+
+@dataclass
+class FaultToleranceStudy:
+    """Both sweeps of Fig. 20."""
+
+    link_sweep: List[FaultSweepPoint] = field(default_factory=list)
+    core_sweep: List[FaultSweepPoint] = field(default_factory=list)
+
+    def link_cliff_rate(self, threshold: float = 0.5) -> Optional[float]:
+        """First link-fault rate at which throughput drops below ``threshold``."""
+        for point in self.link_sweep:
+            if point.relative_throughput < threshold:
+                return point.fault_rate
+        return None
+
+    def core_degradation_at(self, rate: float) -> Optional[float]:
+        """Relative throughput at a given core-fault rate (None if not swept)."""
+        for point in self.core_sweep:
+            if abs(point.fault_rate - rate) < 1e-9:
+                return point.relative_throughput
+        return None
+
+
+def run_fault_tolerance(
+    model_name: str = "llama2-7b",
+    spec: Optional[ParallelSpec] = None,
+    link_rates: Optional[Sequence[float]] = None,
+    core_rates: Optional[Sequence[float]] = None,
+    config: Optional[SimulatorConfig] = None,
+    seed: int = 7,
+) -> FaultToleranceStudy:
+    """Run both fault sweeps of Fig. 20."""
+    model = get_model(model_name)
+    spec = spec or ParallelSpec(dp=4, tatp=8)
+    link_rates = list(link_rates) if link_rates is not None else list(LINK_FAULT_RATES)
+    core_rates = list(core_rates) if core_rates is not None else list(CORE_FAULT_RATES)
+    config = config or SimulatorConfig()
+
+    study = FaultToleranceStudy()
+    for rate in link_rates:
+        fault_model = FaultModel.sample_link_faults(4, 8, rate, seed=seed)
+        result = evaluate_with_faults(model, spec, fault_model, config=config)
+        study.link_sweep.append(FaultSweepPoint(
+            fault_rate=rate,
+            relative_throughput=result.relative_throughput,
+        ))
+    for rate in core_rates:
+        fault_model = FaultModel.sample_core_faults(32, rate, seed=seed)
+        result = evaluate_with_faults(model, spec, fault_model, config=config)
+        study.core_sweep.append(FaultSweepPoint(
+            fault_rate=rate,
+            relative_throughput=result.relative_throughput,
+        ))
+    return study

@@ -1,0 +1,78 @@
+"""Fig. 21: accuracy of the DNN-based cost model.
+
+500 test cases per category (operator computation, communication, overlapped
+execution) are predicted by the DNN cost model and by a multivariate
+linear-regression baseline; the figure reports the correlation and relative
+error of each. The DNN reaches ~4-5% error at correlation > 0.98 while the
+regression sits at 10-15% error, and a single DNN query takes microseconds —
+the speedup that makes the DLWS search practical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.costmodel.dataset import generate_dataset
+from repro.costmodel.dnn import MLPCostModel
+from repro.costmodel.evaluation import ModelAccuracy, evaluate_model
+from repro.costmodel.regression import LinearCostModel
+
+
+@dataclass
+class CostModelStudy:
+    """Accuracy of both cost models per category, plus query latency."""
+
+    dnn_accuracy: Dict[str, ModelAccuracy] = field(default_factory=dict)
+    regression_accuracy: Dict[str, ModelAccuracy] = field(default_factory=dict)
+    dnn_query_seconds: float = 0.0
+    training_samples: int = 0
+    test_samples: int = 0
+
+    def dnn_max_error(self) -> float:
+        """Worst relative error of the DNN model across categories."""
+        if not self.dnn_accuracy:
+            return 0.0
+        return max(acc.relative_error for acc in self.dnn_accuracy.values())
+
+    def regression_max_error(self) -> float:
+        """Worst relative error of the regression baseline across categories."""
+        if not self.regression_accuracy:
+            return 0.0
+        return max(acc.relative_error for acc in self.regression_accuracy.values())
+
+    def dnn_min_correlation(self) -> float:
+        """Lowest correlation of the DNN model across categories."""
+        if not self.dnn_accuracy:
+            return 0.0
+        return min(acc.correlation for acc in self.dnn_accuracy.values())
+
+
+def run_cost_model_validation(
+    train_samples_per_category: int = 400,
+    test_samples_per_category: int = 500,
+    epochs: int = 200,
+    seed: int = 0,
+) -> CostModelStudy:
+    """Train both cost models and evaluate them on held-out samples."""
+    train = generate_dataset(
+        num_samples=train_samples_per_category, seed=seed)
+    test = generate_dataset(
+        num_samples=test_samples_per_category, seed=seed + 1)
+
+    dnn = MLPCostModel(epochs=epochs, seed=seed).fit(train)
+    regression = LinearCostModel().fit(train)
+
+    start = time.perf_counter()
+    dnn.predict(test[: min(100, len(test))])
+    elapsed = time.perf_counter() - start
+    per_query = elapsed / min(100, len(test))
+
+    return CostModelStudy(
+        dnn_accuracy=evaluate_model(dnn, test),
+        regression_accuracy=evaluate_model(regression, test),
+        dnn_query_seconds=per_query,
+        training_samples=len(train),
+        test_samples=len(test),
+    )

@@ -1,0 +1,137 @@
+"""Switch-based GPU cluster comparator (Fig. 15).
+
+The paper compares a 32-die WSC against a 4-node x 8-GPU A100 cluster whose
+aggregate FP16 peak matches the wafer. The key architectural difference is the
+interconnect: GPUs inside a node talk over NVLink/NVSwitch (all-to-all, so any
+logical ring is physically realisable with uniform latency), while traffic
+between nodes crosses a slower InfiniBand fabric.
+
+The cluster model exposes the same latency primitives as the wafer (per-pair
+transfer time, collective time estimates) so the simulator can evaluate a
+Megatron-style strategy on either substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.config import GPUClusterConfig
+
+
+class GPUCluster:
+    """A multi-node GPU cluster with switch-based intra-node interconnect."""
+
+    def __init__(self, config: Optional[GPUClusterConfig] = None) -> None:
+        self.config = config or GPUClusterConfig()
+
+    @property
+    def num_devices(self) -> int:
+        """Total number of GPUs."""
+        return self.config.num_devices
+
+    def node_of(self, device: int) -> int:
+        """Node index hosting ``device``."""
+        if not 0 <= device < self.num_devices:
+            raise ValueError(f"device {device} out of range")
+        return device // self.config.gpus_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether two devices share a node (and hence NVLink)."""
+        return self.node_of(a) == self.node_of(b)
+
+    def pair_bandwidth(self, a: int, b: int) -> float:
+        """Point-to-point bandwidth between two devices, in bytes/s."""
+        if a == b:
+            return self.config.device.memory_bandwidth
+        if self.same_node(a, b):
+            return self.config.device.nvlink_bandwidth
+        return self.config.internode_bandwidth
+
+    def pair_latency(self, a: int, b: int) -> float:
+        """Point-to-point latency between two devices, in seconds."""
+        if a == b:
+            return 0.0
+        if self.same_node(a, b):
+            return self.config.device.nvlink_latency
+        return self.config.internode_latency
+
+    def transfer_time(self, a: int, b: int, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` from device ``a`` to device ``b``."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if a == b:
+            return 0.0
+        return self.pair_latency(a, b) + num_bytes / self.pair_bandwidth(a, b)
+
+    # Collective estimates --------------------------------------------------------
+
+    def ring_allreduce_time(self, group_size: int, num_bytes: float) -> float:
+        """Bandwidth-optimal ring all-reduce over ``group_size`` devices.
+
+        GPU clusters can always form a logical ring thanks to the switch, so
+        the classic 2(p-1)/p volume formula applies; the ring is assumed to be
+        arranged to keep as many hops as possible inside nodes.
+        """
+        if group_size <= 1:
+            return 0.0
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        per_node = self.config.gpus_per_node
+        crossings = max(1, group_size // per_node) if group_size > per_node else 0
+        bottleneck = (
+            self.config.internode_bandwidth if crossings
+            else self.config.device.nvlink_bandwidth
+        )
+        latency = (
+            self.config.internode_latency if crossings
+            else self.config.device.nvlink_latency
+        )
+        steps = 2 * (group_size - 1)
+        volume = 2.0 * (group_size - 1) / group_size * num_bytes
+        return steps * latency + volume / bottleneck
+
+    def allgather_time(self, group_size: int, num_bytes_per_rank: float) -> float:
+        """Ring all-gather over ``group_size`` devices."""
+        if group_size <= 1:
+            return 0.0
+        per_node = self.config.gpus_per_node
+        crosses_nodes = group_size > per_node
+        bottleneck = (
+            self.config.internode_bandwidth if crosses_nodes
+            else self.config.device.nvlink_bandwidth
+        )
+        latency = (
+            self.config.internode_latency if crosses_nodes
+            else self.config.device.nvlink_latency
+        )
+        steps = group_size - 1
+        volume = (group_size - 1) * num_bytes_per_rank
+        return steps * latency + volume / bottleneck
+
+    def reduce_scatter_time(self, group_size: int, num_bytes: float) -> float:
+        """Ring reduce-scatter over ``group_size`` devices."""
+        if group_size <= 1:
+            return 0.0
+        return self.allgather_time(group_size, num_bytes / max(group_size, 1))
+
+    def p2p_time(self, num_bytes: float, cross_node: bool = False) -> float:
+        """Point-to-point transfer time for pipeline-style traffic."""
+        bandwidth = (
+            self.config.internode_bandwidth if cross_node
+            else self.config.device.nvlink_bandwidth
+        )
+        latency = (
+            self.config.internode_latency if cross_node
+            else self.config.device.nvlink_latency
+        )
+        return latency + num_bytes / bandwidth
+
+    def describe(self) -> dict:
+        """Summary of the headline cluster parameters."""
+        return {
+            "devices": self.num_devices,
+            "peak_pflops": self.config.total_peak_flops / 1e15,
+            "nvlink_gbps": self.config.device.nvlink_bandwidth / (1024 ** 3),
+            "internode_gbps": self.config.internode_bandwidth / (1024 ** 3),
+        }

@@ -1,0 +1,195 @@
+"""Expansion of communication tasks into link-level flows.
+
+Every :class:`~repro.parallelism.comm.CommTask` is expanded over each of its
+concrete die groups:
+
+* **ring collectives** (all-reduce, all-gather, reduce-scatter, broadcast) —
+  flows between consecutive members of the group's ring ordering. When the
+  group admits a contiguous physical ring (see
+  :meth:`MeshTopology.contiguous_ring`), every flow is one hop; otherwise the
+  flows follow multi-hop routes and the hop factor records the tail-latency
+  penalty.
+* **P2P** — a single flow between the two members.
+* **TATP streams** — bidirectional neighbour flows along the group's chain
+  ordering (Algorithm 1 only ever sends one hop along the chain).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.hardware.topology import MeshTopology
+from repro.mapping.routing import Flow, route_flow
+from repro.parallelism.comm import CollectiveType, CommTask
+
+
+def order_group_for_ring(
+    topology: MeshTopology, group: Sequence[int]
+) -> Tuple[List[int], bool]:
+    """Order a die group for ring communication.
+
+    Returns the ordering plus a flag saying whether it is a contiguous
+    physical ring (every consecutive pair, including the wrap-around, is one
+    hop apart). Non-ring groups fall back to a nearest-neighbour chain
+    ordering that keeps logical neighbours as physically close as possible.
+    """
+    members = list(group)
+    if len(members) <= 1:
+        return members, True
+    ring = topology.contiguous_ring(members)
+    if ring is not None:
+        return ring, True
+    return _greedy_chain(topology, members), False
+
+
+def _greedy_chain(topology: MeshTopology, members: Sequence[int]) -> List[int]:
+    """Greedy nearest-neighbour ordering of a die group."""
+    remaining = list(members)
+    chain = [remaining.pop(0)]
+    while remaining:
+        last = chain[-1]
+        nearest = min(remaining, key=lambda die: topology.hop_distance(last, die))
+        remaining.remove(nearest)
+        chain.append(nearest)
+    return chain
+
+
+def ring_hop_factor(
+    topology: MeshTopology, ordering: Sequence[int], closed: bool
+) -> int:
+    """Worst hop distance between logically adjacent members of an ordering."""
+    if len(ordering) <= 1:
+        return 0
+    pairs = list(zip(ordering, list(ordering[1:])))
+    if closed:
+        pairs.append((ordering[-1], ordering[0]))
+    return max(topology.hop_distance(a, b) for a, b in pairs)
+
+
+def expand_task(
+    task: CommTask,
+    groups: Sequence[Sequence[int]],
+    topology: MeshTopology,
+    prefer_yx: bool = False,
+    reorder_groups: bool = True,
+) -> Tuple[List[Flow], int]:
+    """Expand ``task`` over its die groups into routed flows.
+
+    Args:
+        task: the communication task.
+        groups: the concrete die groups realising the task (one entry per
+            parallel group of the task's dimension).
+        topology: the wafer mesh used for routing.
+        prefer_yx: route with YX instead of XY dimension order (used by the
+            optimizer to spread traffic).
+        reorder_groups: whether to reorder each group into a physical ring /
+            nearest-neighbour chain before expanding (topology-aware mappers
+            do; the naive SMap keeps the logical order it was given).
+
+    Returns:
+        ``(flows, hop_factor)`` where ``hop_factor`` is the worst physical hop
+        distance any logical step of the task incurs across all groups (1 for
+        perfectly contiguous mappings; >1 signals tail latency).
+    """
+    if task.is_trivial:
+        return [], 0
+    flows: List[Flow] = []
+    worst_hop = 0
+    for group in groups:
+        members = [die for die in group]
+        if len(members) <= 1:
+            continue
+        if task.kind is CollectiveType.P2P:
+            group_flows, hops = _expand_p2p(task, members, topology, prefer_yx)
+        elif task.kind is CollectiveType.STREAM:
+            group_flows, hops = _expand_stream(
+                task, members, topology, prefer_yx, reorder_groups)
+        else:
+            group_flows, hops = _expand_ring_collective(
+                task, members, topology, prefer_yx, reorder_groups)
+        flows.extend(group_flows)
+        worst_hop = max(worst_hop, hops)
+    return flows, worst_hop
+
+
+def _expand_ring_collective(
+    task: CommTask,
+    members: Sequence[int],
+    topology: MeshTopology,
+    prefer_yx: bool,
+    reorder_groups: bool = True,
+) -> Tuple[List[Flow], int]:
+    if reorder_groups:
+        ordering, is_ring = order_group_for_ring(topology, members)
+    else:
+        ordering, is_ring = list(members), False
+    hop_factor = ring_hop_factor(topology, ordering, closed=True)
+    flows: List[Flow] = []
+    pairs = list(zip(ordering, list(ordering[1:]) + [ordering[0]]))
+    for src, dst in pairs:
+        flows.append(route_flow(
+            topology, src, dst,
+            num_bytes=task.bytes_per_device,
+            count=task.count,
+            task_label=task.label,
+            dimension=task.dimension,
+            critical=not task.overlappable,
+            prefer_yx=prefer_yx,
+        ))
+    return flows, max(hop_factor, 1)
+
+
+def _expand_p2p(
+    task: CommTask,
+    members: Sequence[int],
+    topology: MeshTopology,
+    prefer_yx: bool,
+) -> Tuple[List[Flow], int]:
+    flows: List[Flow] = []
+    worst = 1
+    for src, dst in zip(members, members[1:]):
+        flow = route_flow(
+            topology, src, dst,
+            num_bytes=task.bytes_per_device,
+            count=task.count,
+            task_label=task.label,
+            dimension=task.dimension,
+            critical=not task.overlappable,
+            prefer_yx=prefer_yx,
+        )
+        flows.append(flow)
+        worst = max(worst, max(flow.hops, 1))
+    return flows, worst
+
+
+def _expand_stream(
+    task: CommTask,
+    members: Sequence[int],
+    topology: MeshTopology,
+    prefer_yx: bool,
+    reorder_groups: bool = True,
+) -> Tuple[List[Flow], int]:
+    """TATP streaming: bidirectional flows between chain neighbours."""
+    if reorder_groups:
+        ordering, _ = order_group_for_ring(topology, members)
+    else:
+        ordering = list(members)
+    # The bidirectional orchestration only needs a chain, not a closed ring.
+    chain_pairs = list(zip(ordering, ordering[1:]))
+    hop_factor = 1
+    if chain_pairs:
+        hop_factor = max(
+            topology.hop_distance(a, b) for a, b in chain_pairs)
+    flows: List[Flow] = []
+    for src, dst in chain_pairs:
+        for a, b in ((src, dst), (dst, src)):
+            flows.append(route_flow(
+                topology, a, b,
+                num_bytes=task.bytes_per_device,
+                count=task.count,
+                task_label=task.label,
+                dimension=task.dimension,
+                critical=not task.overlappable,
+                prefer_yx=prefer_yx,
+            ))
+    return flows, max(hop_factor, 1)

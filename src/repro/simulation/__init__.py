@@ -1,0 +1,38 @@
+"""Analytical wafer-scale simulator.
+
+This subpackage plays the role ASTRA-sim + Ramulator play in the paper: it
+turns an execution plan (per-die FLOPs, memory footprint, communication tasks)
+plus a mapping result (routed flows, hop factors, link loads) into time,
+memory, bandwidth-utilisation, and power numbers.
+
+* :mod:`repro.simulation.config` — tunable efficiency knobs (achievable MFU,
+  per-round kernel overhead, link-granularity ramp) with defaults that follow
+  the paper's characterisations.
+* :mod:`repro.simulation.compute` — computation-latency model.
+* :mod:`repro.simulation.communication` — collective / P2P / stream latency
+  model including contention.
+* :mod:`repro.simulation.memory` — HBM occupancy and DRAM-traffic model.
+* :mod:`repro.simulation.power` — energy and power breakdowns.
+* :mod:`repro.simulation.simulator` — the :class:`WaferSimulator` tying it all
+  together into a :class:`SimulationReport`.
+"""
+
+from repro.simulation.config import SimulatorConfig
+from repro.simulation.compute import compute_time
+from repro.simulation.communication import collective_steps, task_time
+from repro.simulation.memory import dram_traffic_bytes, fits_in_memory
+from repro.simulation.power import PowerBreakdown, power_breakdown
+from repro.simulation.simulator import SimulationReport, WaferSimulator
+
+__all__ = [
+    "SimulatorConfig",
+    "compute_time",
+    "collective_steps",
+    "task_time",
+    "dram_traffic_bytes",
+    "fits_in_memory",
+    "PowerBreakdown",
+    "power_breakdown",
+    "SimulationReport",
+    "WaferSimulator",
+]

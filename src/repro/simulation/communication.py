@@ -1,0 +1,108 @@
+"""Communication-latency model for the wafer mesh.
+
+Each communication task's time combines three effects the paper's analysis
+highlights:
+
+* **per-step latency** — ring algorithms take ``O(p)`` steps, each paying the
+  D2D link latency multiplied by the physical hop factor of the mapping (the
+  tail-latency effect of non-contiguous groups),
+* **serialisation** — the wire bytes each device injects divided by the
+  *effective* link bandwidth, which ramps with transfer granularity
+  (small per-step chunks never reach the 4 TB/s peak),
+* **contention** — concurrent flows sharing a link slow each other down; the
+  mapping's link-load statistics provide the slowdown factor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.config import LinkConfig
+from repro.parallelism.comm import CollectiveType, CommTask
+from repro.simulation.config import SimulatorConfig
+
+
+def collective_steps(kind: CollectiveType, group_size: int) -> int:
+    """Number of logical communication steps of a ring-based collective."""
+    if group_size <= 1:
+        return 0
+    if kind is CollectiveType.ALL_REDUCE:
+        return 2 * (group_size - 1)
+    if kind in (CollectiveType.ALL_GATHER, CollectiveType.REDUCE_SCATTER,
+                CollectiveType.BROADCAST):
+        return group_size - 1
+    if kind is CollectiveType.STREAM:
+        return group_size - 1
+    return 1  # P2P
+
+
+def effective_bandwidth(
+    link: LinkConfig, chunk_bytes: float, config: SimulatorConfig
+) -> float:
+    """Effective link bandwidth for transfers of ``chunk_bytes``.
+
+    Follows the paper's observation that D2D links need tens-to-hundreds of
+    megabytes per transfer to reach peak efficiency: the achievable bandwidth
+    ramps as ``peak * chunk / (chunk + ramp)``.
+    """
+    if chunk_bytes <= 0:
+        return link.bandwidth
+    ramp = config.link_ramp_bytes
+    if ramp <= 0:
+        return link.bandwidth
+    return link.bandwidth * chunk_bytes / (chunk_bytes + ramp)
+
+
+def task_time(
+    task: CommTask,
+    link: LinkConfig,
+    config: SimulatorConfig,
+    hop_factor: int = 1,
+    contention_factor: float = 1.0,
+) -> float:
+    """Time for one execution of ``task`` (multiply by ``task.count`` outside).
+
+    Args:
+        task: the communication task (wire bytes per device, group size).
+        link: D2D link configuration.
+        config: simulator knobs (granularity ramp).
+        hop_factor: worst physical hops per logical step of the mapping.
+        contention_factor: slowdown from sharing links with other traffic
+            (>= 1.0); 1.0 means contention-free.
+
+    Returns:
+        Seconds for one execution of the task.
+    """
+    if task.is_trivial:
+        return 0.0
+    if hop_factor < 1:
+        raise ValueError(f"hop_factor must be >= 1, got {hop_factor}")
+    if contention_factor < 1.0:
+        raise ValueError(
+            f"contention_factor must be >= 1.0, got {contention_factor}")
+    steps = collective_steps(task.kind, task.group_size)
+    if steps == 0:
+        return 0.0
+    chunk = task.bytes_per_device / steps
+    bandwidth = effective_bandwidth(link, chunk, config)
+    latency_term = steps * hop_factor * link.latency
+    serialization = task.bytes_per_device * contention_factor / bandwidth
+    # Multi-hop logical steps also consume bandwidth on every intermediate
+    # link; the extra traversals show up as proportionally longer
+    # serialisation when the path is shared (approximated by the hop factor on
+    # the bandwidth term only when contention is not separately accounted).
+    if contention_factor == 1.0 and hop_factor > 1:
+        serialization *= hop_factor ** 0.5
+    return latency_term + serialization
+
+
+def bottleneck_time(
+    max_link_bytes: float,
+    link: LinkConfig,
+    config: SimulatorConfig,
+) -> float:
+    """Lower bound on communication time from the busiest link's load."""
+    if max_link_bytes <= 0:
+        return 0.0
+    bandwidth = effective_bandwidth(link, max_link_bytes, config)
+    return max_link_bytes / bandwidth

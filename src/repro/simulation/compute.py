@@ -1,0 +1,77 @@
+"""Computation-latency model.
+
+Computation time on a die is its assigned FLOPs divided by the sustained
+throughput (peak FLOPS times an achievable MFU), plus a fixed overhead per
+kernel launch. Fine-grained partitioning (high TATP degrees, deep pipelines)
+multiplies the number of launches, which is what produces the "fragmented
+workload" utilisation loss of the paper's sweet-spot analysis (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.config import ComputeDieConfig
+from repro.simulation.config import SimulatorConfig
+
+
+def kernel_launches(
+    num_layers: int,
+    operators_per_layer: int,
+    tatp_rounds: int,
+) -> float:
+    """Number of kernel launches per training step on one die.
+
+    Every operator of every layer launches once for the forward and once for
+    the backward pass (folded into ``operators_per_layer``); TATP splits each
+    of its streamed GEMM stages into one launch per round.
+    """
+    if num_layers < 0 or operators_per_layer < 0:
+        raise ValueError("layer and operator counts must be non-negative")
+    rounds = max(1, tatp_rounds)
+    return float(num_layers) * operators_per_layer * rounds
+
+
+def compute_time(
+    flops: float,
+    die: ComputeDieConfig,
+    config: SimulatorConfig,
+    num_layers: int = 1,
+    tatp_rounds: int = 0,
+    peak_flops_override: float = 0.0,
+) -> float:
+    """Time for one die to execute ``flops`` of one training step.
+
+    Args:
+        flops: FLOPs assigned to the die for the step.
+        die: the die configuration (peak FLOPS).
+        config: simulator efficiency knobs.
+        num_layers: transformer layers the die processes (for launch counting).
+        tatp_rounds: TATP rounds per layer (0 or 1 when TATP is inactive).
+        peak_flops_override: effective peak FLOPS after fault derating; 0 means
+            use the configured peak.
+
+    Returns:
+        Computation time in seconds.
+    """
+    if flops < 0:
+        raise ValueError(f"flops must be non-negative, got {flops}")
+    peak = peak_flops_override if peak_flops_override > 0 else die.peak_flops
+    sustained = peak * config.base_mfu
+    if sustained <= 0:
+        raise ValueError("sustained FLOPS must be positive")
+    launches = kernel_launches(num_layers, config.operators_per_layer, tatp_rounds)
+    return flops / sustained + launches * config.kernel_overhead
+
+
+def compute_utilization(
+    flops: float,
+    elapsed: float,
+    die: ComputeDieConfig,
+    num_dies: int = 1,
+) -> float:
+    """Achieved fraction of peak FLOPS over ``elapsed`` seconds."""
+    if elapsed <= 0:
+        return 0.0
+    peak = die.peak_flops * num_dies
+    if peak <= 0:
+        return 0.0
+    return min(1.0, flops / (elapsed * peak))

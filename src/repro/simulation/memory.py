@@ -1,0 +1,70 @@
+"""HBM occupancy and DRAM-traffic models (the Ramulator role).
+
+Memory has two jobs in the evaluation:
+
+* **capacity** — a configuration whose per-die footprint exceeds the 72 GB HBM
+  capacity is an OOM failure (the OOM bars of Fig. 13),
+* **traffic** — DRAM accesses cost energy (6 pJ/bit) and appear in the power
+  breakdown of Fig. 14; traffic is estimated from the tensors each training
+  step must read and write.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.hardware.config import ComputeDieConfig
+from repro.parallelism.strategies import ExecutionPlan
+from repro.workloads.training import MemoryFootprint
+
+
+def fits_in_memory(
+    footprint: MemoryFootprint, die: ComputeDieConfig, slack: float = 1.0
+) -> bool:
+    """Whether a per-die footprint fits in the die's HBM capacity.
+
+    Args:
+        footprint: per-die memory footprint.
+        die: die configuration (HBM capacity).
+        slack: fraction of the capacity that may be used (1.0 = all of it);
+            frameworks usually keep a small reserve for workspace buffers.
+    """
+    if not 0.0 < slack <= 1.0:
+        raise ValueError(f"slack must be in (0, 1], got {slack}")
+    return footprint.total <= die.hbm.capacity * slack
+
+
+def memory_pressure(footprint: MemoryFootprint, die: ComputeDieConfig) -> float:
+    """Ratio of the footprint to the HBM capacity (>1 means OOM)."""
+    if die.hbm.capacity <= 0:
+        raise ValueError("die HBM capacity must be positive")
+    return footprint.total / die.hbm.capacity
+
+
+def dram_traffic_bytes(plan: ExecutionPlan) -> float:
+    """Estimated per-die DRAM traffic of one training step, in bytes.
+
+    The estimate counts, per device:
+
+    * reading the weight shard for the forward and backward passes and writing
+      the gradient shard (3x the weight shard),
+    * writing the forward activations and reading them back during the
+      backward pass (2x the activation footprint),
+    * reading and writing the optimizer state once during the update
+      (2x the optimizer shard),
+    * re-streaming communication buffers that pass through HBM (the wire
+      bytes of the step).
+    """
+    memory = plan.memory
+    weight_traffic = 3.0 * memory.weights
+    activation_traffic = 2.0 * memory.activations
+    optimizer_traffic = 2.0 * memory.optimizer + memory.gradients
+    comm_staging = plan.total_comm_bytes()
+    return weight_traffic + activation_traffic + optimizer_traffic + comm_staging
+
+
+def hbm_time(traffic_bytes: float, die: ComputeDieConfig) -> float:
+    """Time to move ``traffic_bytes`` through the die's HBM interface."""
+    if traffic_bytes < 0:
+        raise ValueError(f"traffic_bytes must be non-negative, got {traffic_bytes}")
+    return die.hbm.access_time(traffic_bytes)

@@ -1,0 +1,90 @@
+"""Energy and power models (Table I energy figures).
+
+Total power is the sum of three contributions, each derived from an
+operation count and an energy-per-operation figure:
+
+* **computation** — executed FLOPs divided by the 2 TFLOPS/W efficiency,
+* **DRAM** — HBM traffic at 6.0 pJ/bit,
+* **communication** — D2D traffic (bytes x hops) at 5.0 pJ/bit.
+
+The figures of the paper report power *breakdowns* and *power efficiency*
+(throughput per watt), both of which this module provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.config import WaferConfig
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power draw of one training step, in watts."""
+
+    compute: float
+    dram: float
+    communication: float
+
+    @property
+    def total(self) -> float:
+        """Total average power in watts."""
+        return self.compute + self.dram + self.communication
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary form for reports."""
+        return {
+            "compute": self.compute,
+            "dram": self.dram,
+            "communication": self.communication,
+            "total": self.total,
+        }
+
+    def share(self, component: str) -> float:
+        """Fraction of total power drawn by ``component``."""
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return self.as_dict()[component] / total
+
+
+def power_breakdown(
+    total_flops: float,
+    dram_bytes: float,
+    comm_link_bytes: float,
+    step_time: float,
+    wafer: WaferConfig,
+) -> PowerBreakdown:
+    """Average power of a training step.
+
+    Args:
+        total_flops: FLOPs executed across the whole system during the step.
+        dram_bytes: HBM bytes moved across the whole system during the step.
+        comm_link_bytes: D2D link traversals in bytes (bytes x hops) across
+            the whole system during the step.
+        step_time: duration of the step in seconds.
+        wafer: wafer configuration providing the energy coefficients.
+
+    Returns:
+        The :class:`PowerBreakdown` in watts.
+    """
+    if step_time <= 0:
+        raise ValueError(f"step_time must be positive, got {step_time}")
+    if min(total_flops, dram_bytes, comm_link_bytes) < 0:
+        raise ValueError("energy inputs must be non-negative")
+    compute_energy = total_flops / wafer.die.flops_per_watt
+    dram_energy = dram_bytes * wafer.die.hbm.energy_per_byte
+    comm_energy = comm_link_bytes * wafer.d2d.energy_per_byte
+    return PowerBreakdown(
+        compute=compute_energy / step_time,
+        dram=dram_energy / step_time,
+        communication=comm_energy / step_time,
+    )
+
+
+def power_efficiency(throughput_tokens_per_s: float, power_watts: float) -> float:
+    """Throughput per watt (tokens per second per watt)."""
+    if power_watts <= 0:
+        return 0.0
+    return throughput_tokens_per_s / power_watts

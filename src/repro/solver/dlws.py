@@ -1,0 +1,164 @@
+"""The Dual-Level Wafer Solver (DLWS).
+
+DLWS orchestrates the full search for one model on one wafer:
+
+1. enumerate and prune candidate configurations (:mod:`repro.solver.search_space`),
+2. build the representative-layer compute graph and cut it at residual-free
+   boundaries,
+3. run the dynamic program to get a strong per-operator assignment,
+4. refine it with the genetic algorithm,
+5. evaluate the best whole-model configurations through the full simulator and
+   return the winner together with its simulation report.
+
+Steps 3-4 use the fast analytical/learned cost model; only a handful of
+finalists reach the simulator, which is how the solver stays ~200x faster than
+exhaustive/ILP search while matching its quality.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.wafer import WaferScaleChip
+from repro.parallelism.baselines import BaselineScheme
+from repro.parallelism.spec import ParallelSpec
+from repro.parallelism.strategies import ExecutionPlan, analyze_model
+from repro.simulation.config import SimulatorConfig
+from repro.simulation.simulator import SimulationReport, WaferSimulator
+from repro.solver.dp import optimize_segments
+from repro.solver.genetic import GeneticConfig, GeneticRefiner
+from repro.solver.search_space import SearchSpace
+from repro.workloads.models import ModelConfig
+from repro.workloads.transformer import representative_layer_graph
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one DLWS run."""
+
+    model: ModelConfig
+    best_spec: ParallelSpec
+    best_report: SimulationReport
+    candidates_considered: int
+    finalists_simulated: int
+    dp_cost: float
+    ga_cost: float
+    search_seconds: float
+    evaluations: int
+    reports: Dict[str, SimulationReport] = field(default_factory=dict)
+
+
+class DualLevelWaferSolver:
+    """Search for the optimal hybrid configuration of a model on a wafer."""
+
+    def __init__(
+        self,
+        wafer: Optional[WaferScaleChip] = None,
+        config: Optional[SimulatorConfig] = None,
+        genetic_config: Optional[GeneticConfig] = None,
+        num_finalists: int = 8,
+        mapping_engine: str = "tcme",
+    ) -> None:
+        if num_finalists < 1:
+            raise ValueError("num_finalists must be at least 1")
+        self.wafer = wafer or WaferScaleChip()
+        self.config = config or SimulatorConfig()
+        self.genetic_config = genetic_config or GeneticConfig(generations=12,
+                                                              population_size=16)
+        self.num_finalists = num_finalists
+        self.mapping_engine = mapping_engine
+        self.simulator = WaferSimulator(self.wafer, self.config)
+
+    def solve(
+        self,
+        model: ModelConfig,
+        scheme: BaselineScheme = BaselineScheme.TEMP,
+        max_tatp: int = 32,
+        pipeline_degrees: Sequence[int] = (1,),
+    ) -> SolverResult:
+        """Find the best configuration of ``model`` on this solver's wafer."""
+        start = time.perf_counter()
+        num_devices = self.wafer.num_dies
+        space = SearchSpace(
+            model=model,
+            num_devices=num_devices,
+            scheme=scheme,
+            max_tatp=max_tatp,
+            pipeline_degrees=pipeline_degrees,
+        )
+        candidates = space.pruned_candidates(self.wafer.config)
+        if not candidates:
+            candidates = space.candidates()
+
+        # Level 1: dynamic program over the representative layer.
+        layer_graph = representative_layer_graph(model)
+        dp_result = optimize_segments(
+            layer_graph, candidates, self.wafer.config, self.config,
+            memory_limit=self.wafer.config.die.hbm.capacity)
+
+        # Level 2: genetic refinement of the DP assignment.
+        refiner = GeneticRefiner(
+            layer_graph, candidates, self.wafer.config, self.config,
+            genetic_config=self.genetic_config)
+        ga_result = refiner.refine(initial_assignment=dp_result.assignment)
+
+        # Finalists: whole-model candidates ranked by the fast cost model, then
+        # validated through the full simulator with the TCME mapping.
+        finalists = self._select_finalists(model, candidates)
+        reports: Dict[str, SimulationReport] = {}
+        best_spec: Optional[ParallelSpec] = None
+        best_report: Optional[SimulationReport] = None
+        for spec in finalists:
+            plan = analyze_model(model, spec, num_devices=num_devices)
+            report = self.simulator.simulate(plan, engine=self.mapping_engine)
+            reports[spec.label()] = report
+            if report.oom:
+                continue
+            if best_report is None or report.step_time < best_report.step_time:
+                best_spec, best_report = spec, report
+        if best_report is None:
+            # Every finalist went OOM; fall back to the least-over-capacity one.
+            best_spec = min(
+                finalists,
+                key=lambda s: reports[s.label()].memory_pressure)
+            best_report = reports[best_spec.label()]
+
+        elapsed = time.perf_counter() - start
+        return SolverResult(
+            model=model,
+            best_spec=best_spec,
+            best_report=best_report,
+            candidates_considered=len(candidates),
+            finalists_simulated=len(finalists),
+            dp_cost=dp_result.total_cost,
+            ga_cost=ga_result.cost,
+            search_seconds=elapsed,
+            evaluations=dp_result.evaluations + ga_result.evaluations,
+            reports=reports,
+        )
+
+    def _select_finalists(
+        self, model: ModelConfig, candidates: Sequence[ParallelSpec]
+    ) -> List[ParallelSpec]:
+        """Rank candidates with the fast analytical plan and keep the best few."""
+        scored: List[tuple] = []
+        capacity = self.wafer.config.die.hbm.capacity
+        for spec in candidates:
+            plan = analyze_model(model, spec, num_devices=self.wafer.num_dies)
+            fits = plan.memory.total <= capacity
+            score = self._fast_score(plan)
+            scored.append((not fits, score, spec))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        finalists = [spec for _, _, spec in scored[: self.num_finalists]]
+        return finalists
+
+    def _fast_score(self, plan: ExecutionPlan) -> float:
+        """Cheap step-time proxy: compute time + critical wire time."""
+        sustained = self.wafer.config.die.peak_flops * self.config.base_mfu
+        compute = plan.flops_per_device / sustained
+        bandwidth = self.wafer.config.d2d.bandwidth
+        critical = plan.critical_comm_bytes() / bandwidth
+        exposed = max(0.0, plan.overlap_comm_bytes() / bandwidth - compute)
+        return compute + critical + exposed

@@ -1,0 +1,158 @@
+"""First solver level: graph partitioning + dynamic programming (Fig. 12(b)).
+
+The compute graph is first cut into segments that contain no residual
+connections (``ComputeGraph.partition_at_residual_boundaries``), which lets
+the solver treat each segment as an operator chain. A dynamic program then
+walks each chain and picks, operator by operator, the parallel configuration
+that minimises the accumulated cost: the intra-operator cost of Eq. (2) plus
+the resharding cost of Eq. (3) relative to the previous operator's choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.costmodel.analytical import inter_operator_cost, intra_operator_cost
+from repro.hardware.config import WaferConfig
+from repro.parallelism.spec import ParallelSpec
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.graph import ComputeGraph
+
+
+@dataclass
+class DynamicProgrammingResult:
+    """Outcome of the DP pass over a compute graph.
+
+    Attributes:
+        assignment: node id -> chosen spec.
+        total_cost: accumulated cost of the assignment (seconds).
+        segment_costs: cost per residual-free segment, in segment order.
+        evaluations: number of (operator, spec) cost evaluations performed —
+            the quantity the search-time comparison counts.
+    """
+
+    assignment: Dict[int, ParallelSpec]
+    total_cost: float
+    segment_costs: List[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+def optimize_segments(
+    graph: ComputeGraph,
+    candidates: Sequence[ParallelSpec],
+    wafer: WaferConfig,
+    config: Optional[SimulatorConfig] = None,
+    memory_limit: Optional[float] = None,
+) -> DynamicProgrammingResult:
+    """Run the dynamic program over the graph's residual-free segments.
+
+    Args:
+        graph: the compute graph (typically one representative layer).
+        candidates: the candidate specs each operator may choose from.
+        wafer: wafer configuration for the analytical cost model.
+        config: simulator knobs.
+        memory_limit: optional per-die byte budget; assignments whose summed
+            per-operator memory exceeds it are penalised out of the solution.
+
+    Returns:
+        The minimising assignment and its cost.
+    """
+    if not candidates:
+        raise ValueError("candidate spec list must not be empty")
+    config = config or SimulatorConfig()
+    segments = graph.partition_at_residual_boundaries()
+    assignment: Dict[int, ParallelSpec] = {}
+    segment_costs: List[float] = []
+    evaluations = 0
+    total = 0.0
+
+    for segment in segments:
+        seg_assignment, seg_cost, seg_evals = _optimize_chain(
+            graph, segment, candidates, wafer, config, memory_limit)
+        assignment.update(seg_assignment)
+        segment_costs.append(seg_cost)
+        total += seg_cost
+        evaluations += seg_evals
+
+    return DynamicProgrammingResult(
+        assignment=assignment,
+        total_cost=total,
+        segment_costs=segment_costs,
+        evaluations=evaluations,
+    )
+
+
+def _optimize_chain(
+    graph: ComputeGraph,
+    chain: Sequence[int],
+    candidates: Sequence[ParallelSpec],
+    wafer: WaferConfig,
+    config: SimulatorConfig,
+    memory_limit: Optional[float],
+) -> (Dict[int, ParallelSpec], float, int):
+    """Classic chain DP: state = (position, spec of the previous operator)."""
+    num_ops = len(chain)
+    num_specs = len(candidates)
+    evaluations = 0
+
+    # intra_cost[i][s]: cost of operator i under spec s; memory[i][s] likewise.
+    intra_cost: List[List[float]] = []
+    memory: List[List[float]] = []
+    for node_id in chain:
+        operator = graph.node(node_id).operator
+        row_cost: List[float] = []
+        row_memory: List[float] = []
+        for spec in candidates:
+            cost = intra_operator_cost(operator, spec, wafer, config)
+            evaluations += 1
+            row_cost.append(cost.total)
+            row_memory.append(cost.memory_bytes)
+        intra_cost.append(row_cost)
+        memory.append(row_memory)
+
+    # best[i][s]: minimal cost of the prefix ending at operator i with spec s.
+    best = [[float("inf")] * num_specs for _ in range(num_ops)]
+    parent = [[-1] * num_specs for _ in range(num_ops)]
+    for s in range(num_specs):
+        best[0][s] = intra_cost[0][s]
+    for i in range(1, num_ops):
+        producer = graph.node(chain[i - 1]).operator
+        for s in range(num_specs):
+            for prev in range(num_specs):
+                reshard = inter_operator_cost(
+                    producer, candidates[prev], candidates[s], wafer, config)
+                evaluations += 1
+                cost = best[i - 1][prev] + reshard + intra_cost[i][s]
+                if cost < best[i][s]:
+                    best[i][s] = cost
+                    parent[i][s] = prev
+
+    # Memory feasibility: penalise chains whose total footprint blows the budget.
+    if memory_limit is not None:
+        for s in range(num_specs):
+            footprint = sum(memory[i][s] for i in range(num_ops))
+            if footprint > memory_limit:
+                best[num_ops - 1][s] = float("inf")
+
+    final_spec = min(range(num_specs), key=lambda s: best[num_ops - 1][s])
+    total_cost = best[num_ops - 1][final_spec]
+    if total_cost == float("inf"):
+        # Every spec violated the memory budget: keep the cheapest anyway so the
+        # caller can still report an (OOM) assignment.
+        final_spec = min(
+            range(num_specs),
+            key=lambda s: sum(memory[i][s] for i in range(num_ops)))
+        total_cost = sum(intra_cost[i][final_spec] for i in range(num_ops))
+
+    # Backtrack the chosen specs.
+    chosen = [0] * num_ops
+    chosen[num_ops - 1] = final_spec
+    for i in range(num_ops - 1, 0, -1):
+        prev = parent[i][chosen[i]]
+        chosen[i - 1] = prev if prev >= 0 else chosen[i]
+
+    assignment = {
+        chain[i]: candidates[chosen[i]] for i in range(num_ops)
+    }
+    return assignment, total_cost, evaluations

@@ -1,0 +1,94 @@
+"""Exhaustive configuration search — the slow baseline of §VIII-H.
+
+The paper compares its dual-level search against an ILP formulation that takes
+tens of hours for large models. In this reproduction the slow baseline is an
+exhaustive enumeration over joint per-operator assignments (with an optional
+cap so the benchmark finishes): the point of the comparison is the scaling of
+evaluation counts and wall-clock time, which exhaustive joint enumeration
+exhibits in the same way an exact ILP does.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.costmodel.analytical import graph_cost
+from repro.hardware.config import WaferConfig
+from repro.parallelism.spec import ParallelSpec
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.graph import ComputeGraph
+
+
+@dataclass
+class ExhaustiveResult:
+    """Outcome of the exhaustive search."""
+
+    assignment: Dict[int, ParallelSpec]
+    cost: float
+    evaluations: int
+    elapsed_seconds: float
+    truncated: bool
+
+
+class ExhaustiveSolver:
+    """Joint enumeration over per-operator configuration assignments."""
+
+    def __init__(
+        self,
+        wafer: WaferConfig,
+        config: Optional[SimulatorConfig] = None,
+        max_evaluations: Optional[int] = None,
+    ) -> None:
+        self.wafer = wafer
+        self.config = config or SimulatorConfig()
+        self.max_evaluations = max_evaluations
+
+    def search(
+        self,
+        graph: ComputeGraph,
+        candidates: Sequence[ParallelSpec],
+    ) -> ExhaustiveResult:
+        """Enumerate every joint assignment (up to ``max_evaluations``)."""
+        if not candidates:
+            raise ValueError("candidate spec list must not be empty")
+        node_ids = [node.node_id for node in graph.nodes()]
+        best_cost = float("inf")
+        best_assignment: Dict[int, ParallelSpec] = {
+            node_id: candidates[0] for node_id in node_ids}
+        evaluations = 0
+        truncated = False
+        start = time.perf_counter()
+
+        for combo in itertools.product(range(len(candidates)), repeat=len(node_ids)):
+            if (self.max_evaluations is not None
+                    and evaluations >= self.max_evaluations):
+                truncated = True
+                break
+            assignment = {
+                node_id: candidates[index]
+                for node_id, index in zip(node_ids, combo)
+            }
+            cost = graph_cost(graph, assignment, self.wafer, self.config)
+            evaluations += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_assignment = assignment
+
+        elapsed = time.perf_counter() - start
+        return ExhaustiveResult(
+            assignment=best_assignment,
+            cost=best_cost,
+            evaluations=evaluations,
+            elapsed_seconds=elapsed,
+            truncated=truncated,
+        )
+
+    @staticmethod
+    def total_combinations(num_operators: int, num_candidates: int) -> int:
+        """Size of the joint space the exhaustive/ILP search faces."""
+        if num_operators < 0 or num_candidates < 0:
+            raise ValueError("counts must be non-negative")
+        return num_candidates ** num_operators

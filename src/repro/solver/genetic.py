@@ -1,0 +1,185 @@
+"""Second solver level: genetic-algorithm refinement.
+
+The dynamic program produces a good per-operator assignment quickly; the
+genetic stage then explores combinations the DP's greedy chain structure
+cannot reach (e.g. trading a worse spec on one operator for a much better
+resharding pattern two operators later). Genes encode the per-operator spec
+index; the population evolves with tournament selection, single-point
+crossover, per-gene mutation, and elitism. Because the DP already pared the
+space down, a few dozen generations converge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.costmodel.analytical import graph_cost
+from repro.hardware.config import WaferConfig
+from repro.parallelism.spec import ParallelSpec
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.graph import ComputeGraph
+
+
+@dataclass(frozen=True)
+class GeneticConfig:
+    """Hyper-parameters of the genetic refinement stage."""
+
+    population_size: int = 24
+    generations: int = 30
+    crossover_rate: float = 0.8
+    mutation_rate: float = 0.08
+    elite_count: int = 2
+    tournament_size: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if self.elite_count < 0 or self.elite_count >= self.population_size:
+            raise ValueError("elite_count must be in [0, population_size)")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be at least 1")
+
+
+@dataclass
+class GeneticResult:
+    """Outcome of the genetic refinement."""
+
+    assignment: Dict[int, ParallelSpec]
+    cost: float
+    generations_run: int
+    evaluations: int
+    history: List[float] = field(default_factory=list)
+
+
+class GeneticRefiner:
+    """Genetic-algorithm search over per-operator spec assignments."""
+
+    def __init__(
+        self,
+        graph: ComputeGraph,
+        candidates: Sequence[ParallelSpec],
+        wafer: WaferConfig,
+        config: Optional[SimulatorConfig] = None,
+        genetic_config: Optional[GeneticConfig] = None,
+        cost_function: Optional[Callable[[Dict[int, ParallelSpec]], float]] = None,
+    ) -> None:
+        if not candidates:
+            raise ValueError("candidate spec list must not be empty")
+        self.graph = graph
+        self.candidates = list(candidates)
+        self.wafer = wafer
+        self.sim_config = config or SimulatorConfig()
+        self.config = genetic_config or GeneticConfig()
+        self._cost_function = cost_function
+        self._node_ids = [node.node_id for node in graph.nodes()]
+        self._evaluations = 0
+
+    # Cost -------------------------------------------------------------------------
+
+    def _cost_of(self, genome: Sequence[int]) -> float:
+        assignment = self._assignment_from(genome)
+        self._evaluations += 1
+        if self._cost_function is not None:
+            return self._cost_function(assignment)
+        return graph_cost(self.graph, assignment, self.wafer, self.sim_config)
+
+    def _assignment_from(self, genome: Sequence[int]) -> Dict[int, ParallelSpec]:
+        return {
+            node_id: self.candidates[gene]
+            for node_id, gene in zip(self._node_ids, genome)
+        }
+
+    # Search ------------------------------------------------------------------------
+
+    def refine(
+        self, initial_assignment: Optional[Dict[int, ParallelSpec]] = None
+    ) -> GeneticResult:
+        """Run the genetic search, optionally seeded with a DP assignment."""
+        rng = random.Random(self.config.seed)
+        genome_length = len(self._node_ids)
+        num_specs = len(self.candidates)
+        self._evaluations = 0
+
+        population: List[List[int]] = []
+        if initial_assignment is not None:
+            population.append(self._genome_from(initial_assignment))
+        while len(population) < self.config.population_size:
+            population.append(
+                [rng.randrange(num_specs) for _ in range(genome_length)])
+
+        costs = [self._cost_of(genome) for genome in population]
+        history: List[float] = [min(costs)]
+
+        for _ in range(self.config.generations):
+            population, costs = self._next_generation(population, costs, rng, num_specs)
+            history.append(min(costs))
+
+        best_index = min(range(len(population)), key=lambda i: costs[i])
+        best_genome = population[best_index]
+        return GeneticResult(
+            assignment=self._assignment_from(best_genome),
+            cost=costs[best_index],
+            generations_run=self.config.generations,
+            evaluations=self._evaluations,
+            history=history,
+        )
+
+    def _genome_from(self, assignment: Dict[int, ParallelSpec]) -> List[int]:
+        genome: List[int] = []
+        for node_id in self._node_ids:
+            spec = assignment[node_id]
+            try:
+                genome.append(self.candidates.index(spec))
+            except ValueError:
+                genome.append(0)
+        return genome
+
+    def _next_generation(
+        self,
+        population: List[List[int]],
+        costs: List[float],
+        rng: random.Random,
+        num_specs: int,
+    ) -> Tuple[List[List[int]], List[float]]:
+        order = sorted(range(len(population)), key=lambda i: costs[i])
+        next_population: List[List[int]] = [
+            list(population[order[i]]) for i in range(self.config.elite_count)
+        ]
+        while len(next_population) < self.config.population_size:
+            parent_a = self._tournament(population, costs, rng)
+            parent_b = self._tournament(population, costs, rng)
+            child = self._crossover(parent_a, parent_b, rng)
+            self._mutate(child, rng, num_specs)
+            next_population.append(child)
+        next_costs = [self._cost_of(genome) for genome in next_population]
+        return next_population, next_costs
+
+    def _tournament(
+        self, population: List[List[int]], costs: List[float], rng: random.Random
+    ) -> List[int]:
+        contenders = rng.sample(range(len(population)),
+                                min(self.config.tournament_size, len(population)))
+        winner = min(contenders, key=lambda i: costs[i])
+        return list(population[winner])
+
+    def _crossover(
+        self, parent_a: List[int], parent_b: List[int], rng: random.Random
+    ) -> List[int]:
+        if len(parent_a) <= 1 or rng.random() > self.config.crossover_rate:
+            return list(parent_a)
+        point = rng.randrange(1, len(parent_a))
+        return parent_a[:point] + parent_b[point:]
+
+    def _mutate(self, genome: List[int], rng: random.Random, num_specs: int) -> None:
+        for index in range(len(genome)):
+            if rng.random() < self.config.mutation_rate:
+                genome[index] = rng.randrange(num_specs)

@@ -1,0 +1,103 @@
+"""Candidate-configuration enumeration and pruning.
+
+Given a die count, the search space of hybrid configurations grows
+combinatorially (this is Challenge 3 of the paper). The solver keeps it
+manageable with structural pruning:
+
+* degrees must be divisors of the die count,
+* the TP degree cannot exceed the number of attention heads,
+* the TATP degree is capped (the paper's sweet-spot analysis bounds useful
+  degrees at around 32),
+* configurations whose estimated per-die memory footprint already exceeds the
+  HBM capacity by a wide margin are dropped before simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.hardware.config import WaferConfig, default_wafer_config
+from repro.parallelism.baselines import BaselineScheme, candidate_specs
+from repro.parallelism.spec import ParallelSpec
+from repro.parallelism.strategies import analyze_model
+from repro.workloads.models import ModelConfig
+
+
+@dataclass
+class SearchSpace:
+    """The candidate configurations the solver explores for one model.
+
+    Attributes:
+        model: the model being optimised.
+        num_devices: dies available.
+        scheme: which scheme's configuration space to enumerate (TEMP by
+            default — the full space including TATP).
+        max_tp: cap on tensor parallel degree.
+        max_tatp: cap on TATP degree.
+        pipeline_degrees: pipeline degrees to consider.
+    """
+
+    model: ModelConfig
+    num_devices: int
+    scheme: BaselineScheme = BaselineScheme.TEMP
+    max_tp: int = 32
+    max_tatp: int = 32
+    pipeline_degrees: Sequence[int] = (1,)
+
+    def candidates(self) -> List[ParallelSpec]:
+        """Enumerate the raw candidate configurations."""
+        max_tp = min(self.max_tp, self.model.num_heads)
+        return candidate_specs(
+            self.scheme,
+            self.num_devices,
+            max_tp=max_tp,
+            max_tatp=self.max_tatp,
+            pipeline_degrees=self.pipeline_degrees,
+        )
+
+    def pruned_candidates(
+        self, wafer: Optional[WaferConfig] = None, memory_margin: float = 1.5
+    ) -> List[ParallelSpec]:
+        """Candidates surviving the memory-based pruning."""
+        wafer = wafer or default_wafer_config()
+        return prune_specs(
+            self.candidates(), self.model, wafer, memory_margin=memory_margin)
+
+
+def prune_specs(
+    specs: Iterable[ParallelSpec],
+    model: ModelConfig,
+    wafer: WaferConfig,
+    memory_margin: float = 1.5,
+) -> List[ParallelSpec]:
+    """Drop configurations that cannot possibly fit in memory.
+
+    Args:
+        specs: candidate configurations.
+        model: the model being trained.
+        wafer: wafer configuration providing the per-die HBM capacity.
+        memory_margin: configurations whose estimated footprint exceeds
+            ``memory_margin x capacity`` are pruned outright (mildly
+            over-capacity candidates are kept so the simulator can report them
+            as OOM, matching how the paper presents OOM bars).
+
+    Returns:
+        The surviving configurations, in the original order.
+    """
+    if memory_margin <= 0:
+        raise ValueError(f"memory_margin must be positive, got {memory_margin}")
+    capacity = wafer.die.hbm.capacity
+    survivors: List[ParallelSpec] = []
+    for spec in specs:
+        plan = analyze_model(model, spec)
+        if plan.memory.total <= capacity * memory_margin:
+            survivors.append(spec)
+            continue
+        # A configuration may still become feasible once activation
+        # checkpointing is enabled; keep it if the checkpointed footprint is
+        # within the margin.
+        checkpointed = analyze_model(model, spec, activation_checkpointing=True)
+        if checkpointed.memory.total <= capacity * memory_margin:
+            survivors.append(spec)
+    return survivors

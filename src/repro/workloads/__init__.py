@@ -1,0 +1,65 @@
+"""LLM workload models: operators, compute graphs, and the model zoo.
+
+The evaluation of the paper is driven entirely by transformer training
+workloads (Table II plus the larger multi-wafer models of Fig. 19). This
+subpackage provides:
+
+* :mod:`repro.workloads.graph` — a small compute-graph IR (tensors, operator
+  nodes, edges) that the parallelism, mapping, and solver layers consume.
+* :mod:`repro.workloads.operators` — analytical FLOP/byte models for every
+  operator the paper lists (GEMM, batched GEMM, softmax, layer-norm,
+  GeLU/SiLU, residual add, embedding, attention with Flash-style fusion).
+* :mod:`repro.workloads.transformer` — a builder that expands a model
+  configuration into the transformer-block graph of Fig. 12.
+* :mod:`repro.workloads.models` — the model zoo (Table II, Fig. 4 and Fig. 19
+  models) expressed as :class:`ModelConfig` records.
+* :mod:`repro.workloads.training` — training-step accounting: forward /
+  backward / gradient FLOPs, mixed-precision memory footprints (weights,
+  gradients, Adam optimizer states, activations).
+"""
+
+from repro.workloads.graph import ComputeGraph, OperatorNode, TensorSpec
+from repro.workloads.operators import (
+    AttentionScore,
+    AttentionContext,
+    DType,
+    Elementwise,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Operator,
+    OperatorKind,
+    Softmax,
+)
+from repro.workloads.models import (
+    MODEL_ZOO,
+    ModelConfig,
+    get_model,
+    list_models,
+)
+from repro.workloads.transformer import build_transformer_block, build_model_graph
+from repro.workloads.training import TrainingStep, MemoryFootprint
+
+__all__ = [
+    "ComputeGraph",
+    "OperatorNode",
+    "TensorSpec",
+    "AttentionScore",
+    "AttentionContext",
+    "DType",
+    "Elementwise",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "Operator",
+    "OperatorKind",
+    "Softmax",
+    "MODEL_ZOO",
+    "ModelConfig",
+    "get_model",
+    "list_models",
+    "build_transformer_block",
+    "build_model_graph",
+    "TrainingStep",
+    "MemoryFootprint",
+]

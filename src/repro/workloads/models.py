@@ -1,0 +1,196 @@
+"""Model zoo.
+
+Table II of the paper lists the six evaluation models (GPT-3 6.7B, Llama2 7B,
+Llama3 70B, GPT-3 76B, GPT-3 175B, OPT 175B); Fig. 4 additionally profiles
+DeepSeek-style models and a Bloom-176B-class model, and the multi-wafer study
+(Fig. 19) adds Grok-1 341B, Llama3 405B and a 504B GPT-3 variant. All of them
+are described here as :class:`ModelConfig` records with the usual transformer
+hyper-parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.workloads.operators import DType
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters of one transformer language model.
+
+    Attributes:
+        name: canonical model name as used in the paper's figures.
+        num_heads: attention heads per layer.
+        batch_size: global training batch size (Table II uses 128).
+        hidden_size: model (embedding) dimension.
+        num_layers: number of transformer blocks.
+        seq_length: training sequence length.
+        ffn_multiplier: FFN intermediate size as a multiple of the hidden size
+            (4 for GPT-style models, ~2.7 effective for gated Llama FFNs which
+            use three projection matrices of 8/3 x hidden each).
+        vocab_size: vocabulary size for the embedding / LM head.
+        gated_ffn: whether the FFN is a gated (SwiGLU) variant with three
+            weight matrices instead of two.
+        dtype: parameter/activation dtype for mixed-precision training.
+    """
+
+    name: str
+    num_heads: int
+    batch_size: int
+    hidden_size: int
+    num_layers: int
+    seq_length: int
+    ffn_multiplier: float = 4.0
+    vocab_size: int = 51200
+    gated_ffn: bool = False
+    dtype: DType = DType.FP16
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def ffn_hidden_size(self) -> int:
+        """FFN intermediate dimension."""
+        return int(round(self.hidden_size * self.ffn_multiplier))
+
+    @property
+    def num_parameters(self) -> float:
+        """Approximate parameter count of the full model.
+
+        Counts attention (4 h^2), FFN (2 or 3 projection matrices), layer
+        norms, and the embedding table.
+        """
+        h = self.hidden_size
+        ffn = self.ffn_hidden_size
+        attention = 4 * h * h
+        if self.gated_ffn:
+            ffn_params = 3 * h * ffn
+        else:
+            ffn_params = 2 * h * ffn
+        norms = 4 * h
+        per_layer = attention + ffn_params + norms
+        embedding = self.vocab_size * h
+        return float(self.num_layers * per_layer + embedding)
+
+    @property
+    def weight_bytes(self) -> float:
+        """Bytes of FP16 weights for the full model."""
+        return self.num_parameters * self.dtype.bytes
+
+    @property
+    def tokens_per_batch(self) -> int:
+        """Tokens processed per global batch."""
+        return self.batch_size * self.seq_length
+
+    def training_flops_per_step(self) -> float:
+        """Approximate FLOPs of one training step (fwd + bwd ~ 6 * P * tokens)."""
+        return 6.0 * self.num_parameters * self.tokens_per_batch
+
+    def with_overrides(
+        self,
+        batch_size: Optional[int] = None,
+        seq_length: Optional[int] = None,
+        num_layers: Optional[int] = None,
+    ) -> "ModelConfig":
+        """Copy the config with a different batch size / sequence / depth."""
+        updated = self
+        if batch_size is not None:
+            updated = replace(updated, batch_size=batch_size)
+        if seq_length is not None:
+            updated = replace(updated, seq_length=seq_length)
+        if num_layers is not None:
+            updated = replace(updated, num_layers=num_layers)
+        return updated
+
+
+def _zoo() -> Dict[str, ModelConfig]:
+    models = [
+        # Table II -------------------------------------------------------------
+        ModelConfig("gpt3-6.7b", num_heads=32, batch_size=128, hidden_size=4096,
+                    num_layers=32, seq_length=2048),
+        ModelConfig("llama2-7b", num_heads=32, batch_size=128, hidden_size=4096,
+                    num_layers=32, seq_length=4096, ffn_multiplier=2.6875,
+                    vocab_size=32000, gated_ffn=True),
+        ModelConfig("llama3-70b", num_heads=64, batch_size=128, hidden_size=8192,
+                    num_layers=80, seq_length=4096, ffn_multiplier=3.5,
+                    vocab_size=128256, gated_ffn=True),
+        ModelConfig("gpt3-76b", num_heads=80, batch_size=128, hidden_size=10240,
+                    num_layers=60, seq_length=2048),
+        ModelConfig("gpt3-175b", num_heads=96, batch_size=128, hidden_size=12288,
+                    num_layers=96, seq_length=2048),
+        ModelConfig("opt-175b", num_heads=96, batch_size=128, hidden_size=12288,
+                    num_layers=96, seq_length=4096),
+        # Fig. 4 motivation models ----------------------------------------------
+        ModelConfig("deepseek-7b", num_heads=32, batch_size=128, hidden_size=4096,
+                    num_layers=30, seq_length=4096, ffn_multiplier=2.6875,
+                    vocab_size=102400, gated_ffn=True),
+        ModelConfig("deepseek-67b", num_heads=64, batch_size=128, hidden_size=8192,
+                    num_layers=95, seq_length=4096, ffn_multiplier=2.6875,
+                    vocab_size=102400, gated_ffn=True),
+        ModelConfig("deepseek-v2-236b", num_heads=128, batch_size=128,
+                    hidden_size=12288, num_layers=120, seq_length=4096,
+                    ffn_multiplier=3.0, vocab_size=102400, gated_ffn=True),
+        ModelConfig("llama2-70b", num_heads=64, batch_size=128, hidden_size=8192,
+                    num_layers=80, seq_length=4096, ffn_multiplier=3.5,
+                    vocab_size=32000, gated_ffn=True),
+        ModelConfig("llama2-30b", num_heads=52, batch_size=128, hidden_size=6656,
+                    num_layers=60, seq_length=4096, ffn_multiplier=2.6875,
+                    vocab_size=32000, gated_ffn=True),
+        ModelConfig("bloom-176b", num_heads=112, batch_size=128, hidden_size=14336,
+                    num_layers=70, seq_length=2048, vocab_size=250880),
+        # Fig. 19 multi-wafer models ---------------------------------------------
+        ModelConfig("grok1-341b", num_heads=48, batch_size=128, hidden_size=6144,
+                    num_layers=64, seq_length=8192, ffn_multiplier=8.0 * 4,
+                    vocab_size=131072),
+        ModelConfig("llama3-405b", num_heads=128, batch_size=128, hidden_size=16384,
+                    num_layers=126, seq_length=4096, ffn_multiplier=3.25,
+                    vocab_size=128256, gated_ffn=True),
+        ModelConfig("gpt3-504b", num_heads=128, batch_size=128, hidden_size=18432,
+                    num_layers=105, seq_length=2048),
+    ]
+    return {model.name: model for model in models}
+
+
+#: Registry of every model configuration the experiments use, keyed by name.
+MODEL_ZOO: Dict[str, ModelConfig] = _zoo()
+
+#: The six models of Table II, in the order the figures present them.
+TABLE_II_MODELS: List[str] = [
+    "gpt3-6.7b",
+    "llama2-7b",
+    "llama3-70b",
+    "gpt3-76b",
+    "gpt3-175b",
+    "opt-175b",
+]
+
+#: The four multi-wafer models of Fig. 19 with their wafer counts.
+MULTI_WAFER_MODELS: Dict[str, int] = {
+    "gpt3-175b": 2,
+    "grok1-341b": 4,
+    "llama3-405b": 4,
+    "gpt3-504b": 6,
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model configuration by name.
+
+    Raises:
+        KeyError: when the name is not in the zoo; the message lists the
+            available models to make typos easy to fix.
+    """
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        available = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model '{name}'; available: {available}") from None
+
+
+def list_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(MODEL_ZOO)

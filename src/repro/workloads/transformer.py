@@ -1,0 +1,153 @@
+"""Transformer compute-graph builder (Fig. 12(a)).
+
+A transformer block is expanded into the thirteen operators the paper shows:
+layer-norm, fused QKV projection, per-head attention (Q x K^T, online softmax,
+Score x V), output projection, residual add, second layer-norm, FC1,
+non-linearity, FC2, and the final residual add. Attention operators can be
+built in Flash-style (tiled, online softmax, scores never hit HBM) or naive
+form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.graph import ComputeGraph
+from repro.workloads.models import ModelConfig
+from repro.workloads.operators import (
+    AttentionContext,
+    AttentionScore,
+    Elementwise,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Softmax,
+)
+
+
+def build_transformer_block(
+    graph: ComputeGraph,
+    model: ModelConfig,
+    layer_index: int,
+    input_node: Optional[int] = None,
+    flash_attention: bool = True,
+) -> int:
+    """Append one transformer block to ``graph``.
+
+    Args:
+        graph: the graph being built.
+        model: model hyper-parameters.
+        layer_index: index of the block (for reporting).
+        input_node: node id feeding the block (None for the first block).
+        flash_attention: whether softmax uses the online/Flash formulation.
+
+    Returns:
+        The node id of the block's final residual add, to be fed to the next
+        block.
+    """
+    batch = model.batch_size
+    seq = model.seq_length
+    hidden = model.hidden_size
+    heads = model.num_heads
+    head_dim = model.head_dim
+    ffn = model.ffn_hidden_size
+    inputs = [input_node] if input_node is not None else []
+
+    norm1 = graph.add_operator(
+        LayerNorm(f"L{layer_index}.ln1", batch, seq, hidden),
+        inputs=inputs, layer_index=layer_index, block="mha")
+    qkv = graph.add_operator(
+        Linear(f"L{layer_index}.qkv", batch, seq, hidden, 3 * hidden),
+        inputs=[norm1], layer_index=layer_index, block="mha")
+    score = graph.add_operator(
+        AttentionScore(f"L{layer_index}.qk", batch, heads, seq, head_dim),
+        inputs=[qkv], layer_index=layer_index, block="mha")
+    softmax = graph.add_operator(
+        Softmax(f"L{layer_index}.softmax", batch, heads, seq,
+                online=flash_attention),
+        inputs=[score], layer_index=layer_index, block="mha")
+    context = graph.add_operator(
+        AttentionContext(f"L{layer_index}.sv", batch, heads, seq, head_dim),
+        inputs=[softmax, qkv], layer_index=layer_index, block="mha")
+    projection = graph.add_operator(
+        Linear(f"L{layer_index}.proj", batch, seq, hidden, hidden),
+        inputs=[context], layer_index=layer_index, block="mha")
+    residual1 = graph.add_operator(
+        Elementwise(f"L{layer_index}.res1", batch, seq, hidden,
+                    flops_per_element=1.0),
+        inputs=[projection], layer_index=layer_index, block="mha",
+        residual_from=input_node if input_node is not None else norm1)
+
+    norm2 = graph.add_operator(
+        LayerNorm(f"L{layer_index}.ln2", batch, seq, hidden),
+        inputs=[residual1], layer_index=layer_index, block="ffn")
+    if model.gated_ffn:
+        fc1 = graph.add_operator(
+            Linear(f"L{layer_index}.fc1", batch, seq, hidden, 2 * ffn),
+            inputs=[norm2], layer_index=layer_index, block="ffn")
+    else:
+        fc1 = graph.add_operator(
+            Linear(f"L{layer_index}.fc1", batch, seq, hidden, ffn),
+            inputs=[norm2], layer_index=layer_index, block="ffn")
+    activation = graph.add_operator(
+        Elementwise(f"L{layer_index}.act", batch, seq, ffn),
+        inputs=[fc1], layer_index=layer_index, block="ffn")
+    fc2 = graph.add_operator(
+        Linear(f"L{layer_index}.fc2", batch, seq, ffn, hidden),
+        inputs=[activation], layer_index=layer_index, block="ffn")
+    residual2 = graph.add_operator(
+        Elementwise(f"L{layer_index}.res2", batch, seq, hidden,
+                    flops_per_element=1.0),
+        inputs=[fc2], layer_index=layer_index, block="ffn",
+        residual_from=residual1)
+    return residual2
+
+
+def build_model_graph(
+    model: ModelConfig,
+    num_layers: Optional[int] = None,
+    include_embedding: bool = True,
+    flash_attention: bool = True,
+) -> ComputeGraph:
+    """Expand a model configuration into a full compute graph.
+
+    Args:
+        model: the model hyper-parameters.
+        num_layers: optionally build fewer layers than the full model (the
+            solver often optimises a single representative layer and scales
+            the result, since all layers are identical).
+        include_embedding: whether to prepend the token-embedding operator.
+        flash_attention: whether attention uses the Flash-style formulation.
+
+    Returns:
+        The compute graph in topological construction order.
+    """
+    depth = num_layers if num_layers is not None else model.num_layers
+    if depth <= 0:
+        raise ValueError(f"num_layers must be positive, got {depth}")
+    graph = ComputeGraph(name=model.name)
+    previous: Optional[int] = None
+    if include_embedding:
+        previous = graph.add_operator(
+            Embedding("embed", model.batch_size, model.seq_length,
+                      model.hidden_size, model.vocab_size),
+            layer_index=-1, block="embed")
+    for layer_index in range(depth):
+        previous = build_transformer_block(
+            graph, model, layer_index, input_node=previous,
+            flash_attention=flash_attention)
+    return graph
+
+
+def representative_layer_graph(
+    model: ModelConfig, flash_attention: bool = True
+) -> ComputeGraph:
+    """A single-layer graph used by the solver, without the embedding.
+
+    All transformer layers are identical, so the solver optimises one layer
+    and multiplies its cost by the layer count (plus pipeline effects handled
+    separately).
+    """
+    return build_model_graph(
+        model, num_layers=1, include_embedding=False,
+        flash_attention=flash_attention)

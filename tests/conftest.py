@@ -1,0 +1,57 @@
+"""Shared pytest fixtures.
+
+The ``src`` layout is importable after ``pip install -e .`` (or
+``python setup.py develop``); the path insertion below keeps the suite
+runnable from a plain checkout as well.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.hardware.config import default_wafer_config  # noqa: E402
+from repro.hardware.wafer import WaferScaleChip  # noqa: E402
+from repro.simulation.config import SimulatorConfig  # noqa: E402
+from repro.workloads.models import get_model  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def wafer() -> WaferScaleChip:
+    """The default 4x8 Table I wafer."""
+    return WaferScaleChip()
+
+
+@pytest.fixture(scope="session")
+def small_wafer() -> WaferScaleChip:
+    """A small 2x4 wafer for fast mapping/simulation tests."""
+    return WaferScaleChip(default_wafer_config(rows=2, cols=4))
+
+
+@pytest.fixture(scope="session")
+def sim_config() -> SimulatorConfig:
+    """Default simulator knobs."""
+    return SimulatorConfig()
+
+
+@pytest.fixture(scope="session")
+def gpt3_6b():
+    """The GPT-3 6.7B model configuration."""
+    return get_model("gpt3-6.7b")
+
+
+@pytest.fixture(scope="session")
+def llama70b():
+    """The Llama3 70B model configuration."""
+    return get_model("llama3-70b")
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A deliberately small model for fast end-to-end tests."""
+    return get_model("gpt3-6.7b").with_overrides(
+        batch_size=8, seq_length=512, num_layers=2)

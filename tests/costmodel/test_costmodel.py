@@ -1,0 +1,204 @@
+"""Tests for the analytical cost model, the dataset, and the learned models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel.analytical import (
+    graph_cost,
+    inter_operator_cost,
+    intra_operator_cost,
+    resharding_bytes,
+)
+from repro.costmodel.dataset import CostSample, generate_dataset
+from repro.costmodel.dnn import MLPCostModel
+from repro.costmodel.evaluation import correlation, evaluate_model, mean_relative_error
+from repro.costmodel.features import FEATURE_NAMES, feature_matrix, sample_features
+from repro.costmodel.regression import LinearCostModel
+from repro.hardware.config import default_wafer_config
+from repro.parallelism.spec import ParallelSpec
+from repro.workloads.operators import Linear
+from repro.workloads.transformer import representative_layer_graph
+
+
+@pytest.fixture(scope="module")
+def wafer_config():
+    return default_wafer_config()
+
+
+@pytest.fixture(scope="module")
+def big_linear():
+    return Linear("fc", batch=8, seq=2048, in_features=4096, out_features=16384)
+
+
+class TestIntraOperatorCost:
+    def test_eq2_structure(self, big_linear, wafer_config):
+        cost = intra_operator_cost(big_linear, ParallelSpec(dp=4, tatp=8),
+                                   wafer_config)
+        assert cost.total == pytest.approx(
+            cost.collective + max(cost.compute, cost.p2p))
+
+    def test_tp_adds_collective_cost(self, big_linear, wafer_config):
+        no_tp = intra_operator_cost(big_linear, ParallelSpec(dp=8), wafer_config)
+        with_tp = intra_operator_cost(big_linear, ParallelSpec(tp=8), wafer_config)
+        assert with_tp.collective > no_tp.collective
+
+    def test_tatp_adds_overlappable_p2p(self, big_linear, wafer_config):
+        cost = intra_operator_cost(big_linear, ParallelSpec(tatp=8), wafer_config)
+        assert cost.p2p > 0
+        assert cost.collective == 0
+
+    def test_compute_shrinks_with_devices(self, big_linear, wafer_config):
+        small = intra_operator_cost(big_linear, ParallelSpec(tatp=4), wafer_config)
+        large = intra_operator_cost(big_linear, ParallelSpec(tatp=16), wafer_config)
+        assert large.compute < small.compute
+
+    def test_memory_excludes_replication_for_tatp(self, big_linear, wafer_config):
+        tp = intra_operator_cost(big_linear, ParallelSpec(tp=8), wafer_config)
+        tatp = intra_operator_cost(big_linear, ParallelSpec(tatp=8), wafer_config)
+        assert tatp.memory_bytes <= tp.memory_bytes
+
+    def test_hop_factor_increases_collective_time(self, big_linear, wafer_config):
+        near = intra_operator_cost(big_linear, ParallelSpec(tp=8), wafer_config,
+                                   hop_factor=1)
+        far = intra_operator_cost(big_linear, ParallelSpec(tp=8), wafer_config,
+                                  hop_factor=4)
+        assert far.collective > near.collective
+
+
+class TestInterOperatorCost:
+    def test_same_spec_costs_nothing(self, big_linear, wafer_config):
+        spec = ParallelSpec(dp=4, tatp=8)
+        assert resharding_bytes(big_linear, spec, spec) == 0.0
+        assert inter_operator_cost(big_linear, spec, spec, wafer_config) == 0.0
+
+    def test_layout_change_costs_something(self, big_linear, wafer_config):
+        a = ParallelSpec(dp=8, tatp=4)
+        b = ParallelSpec(dp=4, tatp=8)
+        assert resharding_bytes(big_linear, a, b) > 0
+        assert inter_operator_cost(big_linear, a, b, wafer_config) > 0
+
+    def test_more_mismatched_dimensions_cost_more(self, big_linear, wafer_config):
+        base = ParallelSpec(dp=8, tp=2, tatp=2)
+        one_change = ParallelSpec(dp=8, tp=2, tatp=2).with_degree("dp", 4)
+        many_changes = ParallelSpec(dp=2, tp=8, tatp=2)
+        assert (resharding_bytes(big_linear, base, many_changes)
+                >= resharding_bytes(big_linear, base, one_change))
+
+
+class TestGraphCost:
+    def test_uniform_assignment_cost_positive(self, gpt3_6b, wafer_config):
+        graph = representative_layer_graph(gpt3_6b)
+        spec = ParallelSpec(dp=4, tatp=8)
+        assignment = {node.node_id: spec for node in graph.nodes()}
+        assert graph_cost(graph, assignment, wafer_config) > 0
+
+    def test_mixed_assignment_pays_resharding(self, gpt3_6b, wafer_config):
+        graph = representative_layer_graph(gpt3_6b)
+        uniform_spec = ParallelSpec(dp=4, tatp=8)
+        other_spec = ParallelSpec(dp=8, tatp=4)
+        uniform = {node.node_id: uniform_spec for node in graph.nodes()}
+        alternating = {
+            node.node_id: (uniform_spec if index % 2 == 0 else other_spec)
+            for index, node in enumerate(graph.nodes())
+        }
+        assert (graph_cost(graph, alternating, wafer_config)
+                > graph_cost(graph, uniform, wafer_config))
+
+
+class TestDataset:
+    def test_generates_requested_counts(self):
+        samples = generate_dataset(num_samples=20, seed=1)
+        assert len(samples) == 60
+        categories = {sample.category for sample in samples}
+        assert categories == {"compute", "communication", "overlap"}
+
+    def test_reproducible(self):
+        a = generate_dataset(num_samples=5, seed=3)
+        b = generate_dataset(num_samples=5, seed=3)
+        assert [s.latency for s in a] == [s.latency for s in b]
+
+    def test_latencies_positive(self):
+        assert all(s.latency > 0 for s in generate_dataset(num_samples=10))
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            generate_dataset(num_samples=0)
+
+
+class TestFeatures:
+    def test_feature_vector_shape_and_order(self):
+        vector = sample_features({"batch": 4, "seq": 128, "is_collective": 1.0})
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert vector[FEATURE_NAMES.index("is_collective")] == 1.0
+
+    def test_feature_matrix_stacks(self):
+        matrix = feature_matrix([{"batch": 1}, {"batch": 2}])
+        assert matrix.shape == (2, len(FEATURE_NAMES))
+
+    def test_empty_matrix(self):
+        assert feature_matrix([]).shape == (0, len(FEATURE_NAMES))
+
+
+class TestEvaluationMetrics:
+    def test_correlation_perfect(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_correlation_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            correlation([1, 2], [1])
+
+    def test_relative_error(self):
+        assert mean_relative_error([110, 90], [100, 100]) == pytest.approx(0.1)
+
+    def test_relative_error_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([], [])
+
+
+class TestLearnedModels:
+    @pytest.fixture(scope="class")
+    def split_data(self):
+        train = generate_dataset(num_samples=120, seed=0)
+        test = generate_dataset(num_samples=60, seed=1)
+        return train, test
+
+    def test_regression_fits_and_predicts(self, split_data):
+        train, test = split_data
+        model = LinearCostModel().fit(train)
+        predictions = model.predict(test)
+        assert predictions.shape == (len(test),)
+        assert np.all(predictions > 0)
+
+    def test_regression_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            LinearCostModel().predict_inputs([{"batch": 1}])
+
+    def test_mlp_fits_and_beats_regression(self, split_data):
+        train, test = split_data
+        mlp = MLPCostModel(epochs=120, seed=0).fit(train)
+        regression = LinearCostModel().fit(train)
+        mlp_acc = evaluate_model(mlp, test)
+        reg_acc = evaluate_model(regression, test)
+        mlp_error = max(acc.relative_error for acc in mlp_acc.values())
+        reg_error = max(acc.relative_error for acc in reg_acc.values())
+        assert mlp_error < reg_error
+        # The quick unit-test training budget is small; the full Fig. 21 bench
+        # trains longer and reaches > 0.98 correlation.
+        assert min(acc.correlation for acc in mlp_acc.values()) > 0.8
+
+    def test_mlp_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            MLPCostModel().predict_inputs([{"batch": 1}])
+
+    def test_fit_on_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            MLPCostModel().fit([])
+        with pytest.raises(ValueError):
+            LinearCostModel().fit([])
+
+    def test_predict_one(self, split_data):
+        train, _ = split_data
+        model = LinearCostModel().fit(train)
+        value = model.predict_one(train[0].inputs)
+        assert value > 0

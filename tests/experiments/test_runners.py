@@ -1,0 +1,144 @@
+"""Smoke and shape tests for the experiment runners (fast, reduced sizes)."""
+
+import pytest
+
+from repro.experiments.fig04_motivation import run_breakdown, run_memory_comparison
+from repro.experiments.fig07_ring_utilization import run_ring_utilization
+from repro.experiments.fig09_sweet_spot import (
+    LinearLayerWorkload,
+    optimal_degree,
+    run_sweet_spot,
+)
+from repro.experiments.fig13_overall import format_table, run_overall_comparison
+from repro.experiments.fig14_power import run_power_comparison
+from repro.experiments.fig16_ablation import run_ablation
+from repro.experiments.fig17_parallel_configs import run_config_sweep
+from repro.experiments.fig20_fault_tolerance import run_fault_tolerance
+from repro.experiments.search_time import run_search_time_comparison
+
+
+class TestMotivation:
+    def test_breakdown_rows(self):
+        rows = run_breakdown(models=["gpt3-6.7b"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert 0 < row.collective_fraction < 1
+        assert row.collective_fraction + row.other_fraction == pytest.approx(1.0)
+
+    def test_memory_overhead_exceeds_ideal(self):
+        rows = run_memory_comparison(models=["llama2-70b"])
+        assert rows[0].overhead > 1.0
+        assert rows[0].megatron_oom
+
+
+class TestRingUtilization:
+    def test_physical_ring_never_worse(self):
+        rows = run_ring_utilization(models=["llama2-7b"], wafer_sizes=[(4, 8)])
+        assert rows
+        for row in rows:
+            assert row.physical_ring_utilization >= row.logical_ring_utilization - 1e-9
+            assert row.utilization_drop >= -1e-9
+
+
+class TestSweetSpot:
+    def test_throughput_peaks_at_moderate_degree(self):
+        points = run_sweet_spot()
+        best = optimal_degree(points)
+        assert 4 <= best <= 16
+        throughputs = {p.degree: p.throughput for p in points}
+        assert throughputs[best] > throughputs[64]
+        assert throughputs[best] > throughputs[2]
+
+    def test_memory_scales_inversely(self):
+        points = run_sweet_spot(die_counts=[2, 4, 8])
+        assert points[0].memory_bytes_per_die == pytest.approx(
+            4 * points[2].memory_bytes_per_die)
+
+    def test_workload_properties(self):
+        workload = LinearLayerWorkload()
+        assert workload.flops > 0
+        assert workload.weight_bytes > 0
+
+
+class TestOverallComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_overall_comparison(models=["gpt3-6.7b", "llama3-70b"])
+
+    def test_grid_is_complete(self, comparison):
+        assert len(comparison.systems()) == 7
+        assert len(comparison.models()) == 2
+        assert len(comparison.cells) == 14
+
+    def test_temp_wins_on_average(self, comparison):
+        speedups = comparison.average_speedups()
+        assert all(value >= 1.0 for value in speedups.values())
+
+    def test_megatron_ooms_on_70b(self, comparison):
+        assert comparison.cell("llama3-70b", "Mega+SMap").oom
+        assert not comparison.cell("llama3-70b", "TEMP").oom
+
+    def test_normalized_latency_bounded(self, comparison):
+        normalized = comparison.normalized_latency("gpt3-6.7b")
+        assert max(normalized.values()) == pytest.approx(1.0)
+        assert all(0 < value <= 1.0 for value in normalized.values())
+
+    def test_memory_ratio_below_parity(self, comparison):
+        ratios = comparison.memory_ratio("llama3-70b")
+        assert all(ratio <= 1.1 for ratio in ratios.values())
+
+    def test_format_table_mentions_all_systems(self, comparison):
+        text = format_table(comparison)
+        for system in comparison.systems():
+            assert system in text
+
+
+class TestPowerAndAblation:
+    def test_power_breakdown_normalised(self):
+        comparison = run_power_comparison(models=["gpt3-6.7b"])
+        cell = comparison.cell("gpt3-6.7b", "TEMP")
+        assert sum(cell.breakdown().values()) == pytest.approx(1.0)
+        assert comparison.efficiency_gain_over("Mega+SMap") >= 1.0
+
+    def test_ablation_gains_are_monotone(self):
+        study = run_ablation(models=["llama3-70b"])
+        row = study.rows[0]
+        normalized = row.normalized()
+        assert normalized["base"] == pytest.approx(1.0)
+        assert normalized["base+tatp"] >= 0.999
+        assert normalized["base+tatp+tcme"] >= normalized["base+tatp"] * 0.999
+
+
+class TestConfigSweep:
+    def test_sweep_contains_pure_and_hybrid_configs(self):
+        sweep = run_config_sweep(model_name="llama2-7b", seq_length=2048,
+                                 max_tatp=32)
+        labels = {config.label for config in sweep.configs}
+        assert "(32,1,1,1)" in labels
+        assert "(1,1,1,32)" in labels
+        best = sweep.best()
+        assert best.throughput > 0
+
+    def test_best_with_tatp_beats_best_without(self):
+        sweep = run_config_sweep(model_name="llama2-7b", seq_length=2048)
+        assert sweep.best_with_tatp().throughput >= \
+            sweep.best_without_tatp().throughput * 0.95
+
+
+class TestFaultToleranceRunner:
+    def test_link_cliff_and_core_gracefulness(self):
+        study = run_fault_tolerance(
+            link_rates=[0.0, 0.2, 0.5], core_rates=[0.0, 0.25])
+        assert study.link_sweep[0].relative_throughput == pytest.approx(1.0)
+        assert study.link_sweep[-1].relative_throughput < 0.5
+        assert study.core_sweep[-1].relative_throughput > 0.6
+
+
+class TestSearchTime:
+    def test_dls_faster_than_exhaustive(self):
+        result = run_search_time_comparison(
+            model_name="gpt3-6.7b", max_candidates=6, exhaustive_cap=2000,
+            ga_generations=4)
+        assert result.dls_seconds > 0
+        assert result.exhaustive_total_space > result.dls_evaluations
+        assert result.projected_speedup > 10

@@ -1,0 +1,93 @@
+"""Tests for the coordinate-based unified parallelism representation (Fig. 10)."""
+
+import pytest
+
+from repro.parallelism.representation import (
+    DEFAULT_DIMENSION_ORDER,
+    SubTensorCoordinate,
+    build_parallel_groups,
+    build_unified_mapping,
+)
+from repro.parallelism.spec import ParallelSpec
+
+
+class TestParallelGroups:
+    def test_fig10_example_groups(self):
+        """DP=2 x TATP=2 on four dies: DP groups {0,2},{1,3}; TATP {0,1},{2,3}."""
+        spec = ParallelSpec(dp=2, tatp=2)
+        groups = build_parallel_groups(spec, [0, 1, 2, 3])
+        assert sorted(map(sorted, groups["dp"])) == [[0, 2], [1, 3]]
+        assert sorted(map(sorted, groups["tatp"])) == [[0, 1], [2, 3]]
+
+    def test_innermost_dimension_gets_consecutive_dies(self):
+        spec = ParallelSpec(dp=2, tatp=4)
+        groups = build_parallel_groups(spec, list(range(8)))
+        assert sorted(map(sorted, groups["tatp"])) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_custom_order_changes_nesting(self):
+        spec = ParallelSpec(dp=2, tatp=4)
+        order = ("tatp", "fsdp", "cp", "sp", "tp", "dp")
+        groups = build_parallel_groups(spec, list(range(8)), order=order)
+        assert sorted(map(sorted, groups["dp"])) == [
+            [0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_trivial_dimensions_have_no_groups(self):
+        spec = ParallelSpec(dp=4)
+        groups = build_parallel_groups(spec, list(range(4)))
+        assert groups["tp"] == []
+        assert len(groups["dp"]) == 1
+
+    def test_wrong_die_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_parallel_groups(ParallelSpec(dp=4), [0, 1])
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            build_parallel_groups(ParallelSpec(dp=2), [0, 1], order=("dp",))
+
+    def test_groups_partition_the_dies(self):
+        spec = ParallelSpec(dp=2, tp=2, tatp=2)
+        dies = list(range(8))
+        groups = build_parallel_groups(spec, dies)
+        for dimension in ("dp", "tp", "tatp"):
+            flattened = sorted(die for group in groups[dimension] for die in group)
+            assert flattened == dies
+
+
+class TestUnifiedMapping:
+    def test_fig10_tensor_allocation(self):
+        """DP=2, TATP=2 on 4 dies: inputs all distinct, weights replicated per DP."""
+        mapping = build_unified_mapping(ParallelSpec(dp=2, tatp=2), [0, 1, 2, 3])
+        assert mapping.num_rounds == 2
+        assert not mapping.has_replication("input")
+        assert mapping.has_replication("weight")
+
+    def test_pure_tatp_has_no_replication_at_all(self):
+        mapping = build_unified_mapping(ParallelSpec(tatp=4), [0, 1, 2, 3])
+        assert not mapping.has_replication("input")
+        assert not mapping.has_replication("weight")
+
+    def test_megatron_tp_replicates_inputs(self):
+        mapping = build_unified_mapping(ParallelSpec(tp=4), [0, 1, 2, 3])
+        assert mapping.has_replication("input")
+        assert not mapping.has_replication("weight")
+
+    def test_compute_assignment_covers_all_weight_slots(self):
+        mapping = build_unified_mapping(ParallelSpec(tatp=4), [0, 1, 2, 3])
+        for die in range(4):
+            slots = [mapping.compute_assignment[r][die].intermediate
+                     for r in range(4)]
+            assert sorted(slots) == [0, 1, 2, 3]
+
+    def test_resident_coordinates_listed(self):
+        mapping = build_unified_mapping(ParallelSpec(dp=2, tatp=2), [0, 1, 2, 3])
+        coords = mapping.resident_coordinates(0, round_index=0)
+        tensors = {coord.tensor for coord in coords}
+        assert tensors == {"input", "weight"}
+
+    def test_coordinate_tuple_roundtrip(self):
+        coord = SubTensorCoordinate("weight", hidden=2, intermediate=3)
+        assert coord.as_tuple() == ("weight", 0, 0, 2, 3)
+
+    def test_dimension_order_constant_covers_all_intra_dims(self):
+        assert set(DEFAULT_DIMENSION_ORDER) == {"dp", "fsdp", "cp", "sp", "tp", "tatp"}

@@ -1,0 +1,136 @@
+"""Tests for TSPP/TATP: Algorithm 1, the naive ring, and the stream policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallelism.tatp import (
+    StreamChoice,
+    TATPCharacteristics,
+    bidirectional_schedule,
+    naive_ring_schedule,
+    select_stream_tensor,
+)
+
+
+class TestBidirectionalSchedule:
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4, 5, 8, 16])
+    def test_schedule_is_valid(self, degree):
+        schedule = bidirectional_schedule(degree)
+        schedule.validate()
+        assert schedule.num_rounds == degree
+
+    @pytest.mark.parametrize("degree", [2, 4, 8, 16, 32])
+    def test_all_transfers_are_one_hop(self, degree):
+        schedule = bidirectional_schedule(degree)
+        assert schedule.max_hops_per_transfer() <= 1
+
+    def test_each_rank_computes_one_distinct_output_per_round(self):
+        schedule = bidirectional_schedule(8)
+        for round_compute in schedule.compute:
+            assert len(round_compute) == 8
+        for rank in range(8):
+            seen = [schedule.compute[t][rank] for t in range(8)]
+            assert sorted(seen) == list(range(8))
+
+    def test_lower_half_ascending_upper_half_descending(self):
+        schedule = bidirectional_schedule(4)
+        assert [schedule.compute[t][0] for t in range(4)] == [0, 1, 2, 3]
+        assert [schedule.compute[t][3] for t in range(4)] == [3, 2, 1, 0]
+
+    def test_at_most_two_sends_per_rank_per_round(self):
+        schedule = bidirectional_schedule(16)
+        assert schedule.sends_per_rank_per_round() <= 2
+
+    def test_degenerate_degree_one(self):
+        schedule = bidirectional_schedule(1)
+        assert schedule.num_rounds == 1
+        assert schedule.transfers == [[]]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            bidirectional_schedule(0)
+
+    @given(st.integers(1, 24))
+    @settings(max_examples=24, deadline=None)
+    def test_validate_never_fails_for_any_degree(self, degree):
+        schedule = bidirectional_schedule(degree)
+        schedule.validate()
+        assert schedule.max_hops_per_transfer() <= 1
+
+    def test_validate_catches_corrupted_schedule(self):
+        schedule = bidirectional_schedule(4)
+        schedule.compute[1][0] = schedule.compute[0][0]
+        with pytest.raises(ValueError):
+            schedule.validate()
+
+
+class TestNaiveRingSchedule:
+    @pytest.mark.parametrize("degree", [2, 4, 8])
+    def test_naive_ring_is_functionally_correct(self, degree):
+        schedule = naive_ring_schedule(degree)
+        schedule.validate()
+
+    def test_naive_ring_needs_wraparound_hop(self):
+        schedule = naive_ring_schedule(8)
+        # The rank-0 -> rank-7 wrap is a 7-position jump on a linear chain.
+        assert schedule.max_hops_per_transfer() == 7
+
+    def test_tatp_strictly_improves_worst_hop(self):
+        for degree in (4, 8, 16):
+            naive = naive_ring_schedule(degree)
+            tatp = bidirectional_schedule(degree)
+            assert tatp.max_hops_per_transfer() < naive.max_hops_per_transfer()
+
+
+class TestStreamPolicy:
+    def test_smaller_operand_is_streamed(self):
+        assert select_stream_tensor(100, 300) is StreamChoice.WEIGHTS
+        assert select_stream_tensor(300, 100) is StreamChoice.ACTIVATIONS
+
+    def test_tie_prefers_weights(self):
+        assert select_stream_tensor(100, 100) is StreamChoice.WEIGHTS
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            select_stream_tensor(-1, 10)
+
+    def test_long_sequence_prefers_weights(self):
+        # Llama2-7B style: activations ~3x larger than weights at 14k tokens.
+        weight_bytes = 4096 * 11008 * 2
+        activation_bytes = 14336 * 4096 * 2 * 3
+        assert select_stream_tensor(weight_bytes, activation_bytes) is \
+            StreamChoice.WEIGHTS
+
+
+class TestTATPCharacteristics:
+    def test_memory_and_flops_scale_inversely_with_degree(self):
+        small = TATPCharacteristics.for_operator(2, 1e12, 1e9, 4e9, 4e9)
+        large = TATPCharacteristics.for_operator(8, 1e12, 1e9, 4e9, 4e9)
+        assert large.memory_bytes_per_die == pytest.approx(
+            small.memory_bytes_per_die / 4)
+        assert large.flops_per_die == pytest.approx(small.flops_per_die / 4)
+
+    def test_no_replication_memory(self):
+        chars = TATPCharacteristics.for_operator(4, 1e12, 1e9, 2e9, 2e9)
+        assert chars.memory_bytes_per_die == pytest.approx((1e9 + 2e9 + 2e9) / 4)
+
+    def test_stream_choice_recorded(self):
+        chars = TATPCharacteristics.for_operator(4, 1e12, 1e9, 4e9, 4e9)
+        assert chars.stream_choice is StreamChoice.WEIGHTS
+        assert chars.streamed_bytes_per_round == pytest.approx(1e9 / 4)
+
+    def test_rounds_equal_degree(self):
+        assert TATPCharacteristics.for_operator(16, 1e12, 1e9, 1e9, 1e9).num_rounds == 16
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            TATPCharacteristics.for_operator(0, 1e12, 1e9, 1e9, 1e9)
+
+    @given(st.integers(1, 64), st.floats(1e6, 1e12), st.floats(1e3, 1e9),
+           st.floats(1e3, 1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_per_round_quantities_consistent(self, degree, flops, weights, acts):
+        chars = TATPCharacteristics.for_operator(degree, flops, weights, acts, acts)
+        assert chars.flops_per_round * degree == pytest.approx(chars.flops_per_die)
+        streamed_total = min(weights, acts)
+        assert chars.streamed_bytes_per_round * degree == pytest.approx(streamed_total)
