@@ -17,10 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.costmodel.tables import PlanCache
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme, candidate_specs
 from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.strategies import analyze_model
 from repro.simulation.config import SimulatorConfig
 from repro.simulation.simulator import SimulationReport, WaferSimulator
 from repro.solver.dlws import DualLevelWaferSolver, SolverResult
@@ -67,6 +67,9 @@ def evaluate_baseline(
     wafer = wafer or WaferScaleChip()
     simulator = WaferSimulator(wafer, config)
     num_devices = wafer.num_dies
+    # Pruning and the simulation loop below analyse the same specs; one plan
+    # cache per evaluation derives each execution plan exactly once.
+    plan_cache = PlanCache()
     # Megatron recipes keep the tensor-parallel degree within one high-bandwidth
     # group of 8; TEMP's own space may push TP (and TATP) further.
     max_tp = min(32, model.num_heads)
@@ -78,14 +81,15 @@ def evaluate_baseline(
         max_tatp=max_tatp,
         pipeline_degrees=pipeline_degrees,
     )
-    specs = prune_specs(all_specs, model, wafer.config, memory_margin=2.0)
+    specs = prune_specs(all_specs, model, wafer.config, memory_margin=2.0,
+                        plan_cache=plan_cache)
     if not specs and all_specs:
         # Every configuration is hopelessly over capacity (e.g. Megatron-1 on a
         # 175B model); keep the least-infeasible one so the OOM bar can still
         # be reported.
         specs = [min(
             all_specs,
-            key=lambda s: analyze_model(model, s, num_devices=num_devices)
+            key=lambda s: plan_cache.analyze(model, s, num_devices=num_devices)
             .memory.total)]
     if max_candidates is not None and len(specs) > max_candidates:
         specs = _downsample(specs, max_candidates)
@@ -102,12 +106,12 @@ def evaluate_baseline(
     allow_checkpointing = scheme is not BaselineScheme.MEGATRON1
 
     for spec in specs:
-        plan = analyze_model(model, spec, num_devices=num_devices)
+        plan = plan_cache.analyze(model, spec, num_devices=num_devices)
         report = simulator.simulate(plan, engine=engine)
         if report.oom and allow_checkpointing:
             # Fall back to activation checkpointing (full recomputation)
             # before declaring the configuration infeasible.
-            checkpointed_plan = analyze_model(
+            checkpointed_plan = plan_cache.analyze(
                 model, spec, num_devices=num_devices,
                 activation_checkpointing=True)
             checkpointed = simulator.simulate(checkpointed_plan, engine=engine)

@@ -7,6 +7,10 @@ analytical expressions of Eqs. (2)-(4) for composition:
 
 * :mod:`repro.costmodel.analytical` — per-operator and whole-graph analytical
   costs (compute, collective, P2P, and their overlap).
+* :mod:`repro.costmodel.tables` — the vectorized cost-table layer: numpy
+  ``ops x specs`` intra-cost/memory matrices, per-edge ``specs x specs``
+  resharding tensors, and the :class:`~repro.costmodel.tables.PlanCache`
+  memoising whole-model execution plans.
 * :mod:`repro.costmodel.dataset` — sample generation: random operator /
   communication configurations labelled by the analytical simulator.
 * :mod:`repro.costmodel.features` — feature extraction shared by the learned
@@ -17,6 +21,21 @@ analytical expressions of Eqs. (2)-(4) for composition:
   baseline of Fig. 21.
 * :mod:`repro.costmodel.evaluation` — correlation / relative-error metrics
   used to validate the models (Fig. 21).
+
+Scalar-vs-vectorized contract
+-----------------------------
+
+The scalar functions (:func:`~repro.costmodel.analytical.intra_operator_cost`,
+:func:`~repro.costmodel.analytical.inter_operator_cost`,
+:func:`~repro.costmodel.analytical.graph_cost`) are the *reference
+implementation* of Eqs. (2)-(4): one (operator, spec) evaluation per call,
+written to read like the paper. :class:`~repro.costmodel.tables.CostTables`
+is the *performance implementation*: it replays the identical arithmetic
+across the candidate-spec axis with numpy and is what the dual-level solver's
+hot paths consume. Any change to the analytical model must be made in both
+places; ``tests/costmodel/test_tables.py`` enforces agreement to within
+1e-9 relative error cell by cell, so a divergence fails CI rather than
+silently skewing the search.
 """
 
 from repro.costmodel.analytical import (
@@ -26,6 +45,7 @@ from repro.costmodel.analytical import (
     inter_operator_cost,
     resharding_bytes,
 )
+from repro.costmodel.tables import CostTables, PlanCache
 from repro.costmodel.dataset import CostSample, generate_dataset
 from repro.costmodel.features import FEATURE_NAMES, sample_features
 from repro.costmodel.dnn import MLPCostModel
@@ -38,6 +58,8 @@ __all__ = [
     "intra_operator_cost",
     "inter_operator_cost",
     "resharding_bytes",
+    "CostTables",
+    "PlanCache",
     "CostSample",
     "generate_dataset",
     "FEATURE_NAMES",

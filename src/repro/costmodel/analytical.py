@@ -149,10 +149,11 @@ def resharding_bytes(
 
     When the producer and consumer use the same partitioning no data moves;
     otherwise a fraction of the producer's output proportional to the layout
-    mismatch has to be exchanged (an all-to-all style reshard).
+    mismatch has to be exchanged (an all-to-all style reshard). Equality is
+    decided on the layout four-tuple alone — it subsumes full spec equality,
+    and specs differing only in non-layout fields shard the tensor
+    identically.
     """
-    if producer_spec == consumer_spec:
-        return 0.0
     producer_layout = (
         producer_spec.data_parallel_degree,
         producer_spec.sequence_split_degree,

@@ -21,10 +21,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.costmodel.tables import CostTables, PlanCache
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme
 from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.strategies import ExecutionPlan, analyze_model
+from repro.parallelism.strategies import ExecutionPlan
 from repro.simulation.config import SimulatorConfig
 from repro.simulation.simulator import SimulationReport, WaferSimulator
 from repro.solver.dp import optimize_segments
@@ -48,6 +49,8 @@ class SolverResult:
     search_seconds: float
     evaluations: int
     reports: Dict[str, SimulationReport] = field(default_factory=dict)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
 
 class DualLevelWaferSolver:
@@ -81,6 +84,9 @@ class DualLevelWaferSolver:
         """Find the best configuration of ``model`` on this solver's wafer."""
         start = time.perf_counter()
         num_devices = self.wafer.num_dies
+        # One plan cache per solve: pruning, finalist ranking, and finalist
+        # simulation all share a single analyze_model result per (model, spec).
+        plan_cache = PlanCache()
         space = SearchSpace(
             model=model,
             num_devices=num_devices,
@@ -88,30 +94,36 @@ class DualLevelWaferSolver:
             max_tatp=max_tatp,
             pipeline_degrees=pipeline_degrees,
         )
-        candidates = space.pruned_candidates(self.wafer.config)
+        candidates = space.pruned_candidates(
+            self.wafer.config, plan_cache=plan_cache)
         if not candidates:
             candidates = space.candidates()
 
-        # Level 1: dynamic program over the representative layer.
+        # One set of vectorized cost tables feeds both solver levels.
         layer_graph = representative_layer_graph(model)
+        tables = CostTables(
+            layer_graph, candidates, self.wafer.config, self.config)
+
+        # Level 1: dynamic program over the representative layer.
         dp_result = optimize_segments(
             layer_graph, candidates, self.wafer.config, self.config,
-            memory_limit=self.wafer.config.die.hbm.capacity)
+            memory_limit=self.wafer.config.die.hbm.capacity,
+            tables=tables)
 
         # Level 2: genetic refinement of the DP assignment.
         refiner = GeneticRefiner(
             layer_graph, candidates, self.wafer.config, self.config,
-            genetic_config=self.genetic_config)
+            genetic_config=self.genetic_config, tables=tables)
         ga_result = refiner.refine(initial_assignment=dp_result.assignment)
 
         # Finalists: whole-model candidates ranked by the fast cost model, then
         # validated through the full simulator with the TCME mapping.
-        finalists = self._select_finalists(model, candidates)
+        finalists = self._select_finalists(model, candidates, plan_cache)
         reports: Dict[str, SimulationReport] = {}
         best_spec: Optional[ParallelSpec] = None
         best_report: Optional[SimulationReport] = None
         for spec in finalists:
-            plan = analyze_model(model, spec, num_devices=num_devices)
+            plan = plan_cache.analyze(model, spec, num_devices=num_devices)
             report = self.simulator.simulate(plan, engine=self.mapping_engine)
             reports[spec.label()] = report
             if report.oom:
@@ -137,16 +149,21 @@ class DualLevelWaferSolver:
             search_seconds=elapsed,
             evaluations=dp_result.evaluations + ga_result.evaluations,
             reports=reports,
+            plan_cache_hits=plan_cache.hits,
+            plan_cache_misses=plan_cache.misses,
         )
 
     def _select_finalists(
-        self, model: ModelConfig, candidates: Sequence[ParallelSpec]
+        self,
+        model: ModelConfig,
+        candidates: Sequence[ParallelSpec],
+        plan_cache: PlanCache,
     ) -> List[ParallelSpec]:
         """Rank candidates with the fast analytical plan and keep the best few."""
         scored: List[tuple] = []
         capacity = self.wafer.config.die.hbm.capacity
         for spec in candidates:
-            plan = analyze_model(model, spec, num_devices=self.wafer.num_dies)
+            plan = plan_cache.analyze(model, spec, num_devices=self.wafer.num_dies)
             fits = plan.memory.total <= capacity
             score = self._fast_score(plan)
             scored.append((not fits, score, spec))

@@ -6,14 +6,23 @@ the solver treat each segment as an operator chain. A dynamic program then
 walks each chain and picks, operator by operator, the parallel configuration
 that minimises the accumulated cost: the intra-operator cost of Eq. (2) plus
 the resharding cost of Eq. (3) relative to the previous operator's choice.
+
+The transition relation is evaluated on the vectorized tables of
+:class:`~repro.costmodel.tables.CostTables`: each DP step is one
+``best[:, None] + reshard + intra`` min-reduction over numpy arrays instead
+of ``O(specs^2)`` scalar cost-model calls, which keeps the dual-level search
+orders of magnitude faster than the exhaustive baseline even as candidate
+lists grow.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.costmodel.analytical import inter_operator_cost, intra_operator_cost
+import numpy as np
+
+from repro.costmodel.tables import CostTables
 from repro.hardware.config import WaferConfig
 from repro.parallelism.spec import ParallelSpec
 from repro.simulation.config import SimulatorConfig
@@ -28,8 +37,11 @@ class DynamicProgrammingResult:
         assignment: node id -> chosen spec.
         total_cost: accumulated cost of the assignment (seconds).
         segment_costs: cost per residual-free segment, in segment order.
-        evaluations: number of (operator, spec) cost evaluations performed —
-            the quantity the search-time comparison counts.
+        evaluations: number of cost-table cells materialised on behalf of
+            this optimisation — the quantity the search-time comparison
+            counts. On fresh tables it matches the count of scalar
+            (operator, spec) and (operator, spec, spec) evaluations the
+            unvectorized implementation performed.
     """
 
     assignment: Dict[int, ParallelSpec]
@@ -44,6 +56,7 @@ def optimize_segments(
     wafer: WaferConfig,
     config: Optional[SimulatorConfig] = None,
     memory_limit: Optional[float] = None,
+    tables: Optional[CostTables] = None,
 ) -> DynamicProgrammingResult:
     """Run the dynamic program over the graph's residual-free segments.
 
@@ -54,6 +67,8 @@ def optimize_segments(
         config: simulator knobs.
         memory_limit: optional per-die byte budget; assignments whose summed
             per-operator memory exceeds it are penalised out of the solution.
+        tables: pre-built cost tables to reuse (the DLWS solver shares one
+            instance across both levels); built on demand when omitted.
 
     Returns:
         The minimising assignment and its cost.
@@ -61,25 +76,28 @@ def optimize_segments(
     if not candidates:
         raise ValueError("candidate spec list must not be empty")
     config = config or SimulatorConfig()
+    if tables is None:
+        tables = CostTables(graph, candidates, wafer, config)
+    else:
+        tables.ensure_compatible(graph, candidates, wafer, config)
+    cells_before = tables.cells_materialized
     segments = graph.partition_at_residual_boundaries()
     assignment: Dict[int, ParallelSpec] = {}
     segment_costs: List[float] = []
-    evaluations = 0
     total = 0.0
 
     for segment in segments:
-        seg_assignment, seg_cost, seg_evals = _optimize_chain(
-            graph, segment, candidates, wafer, config, memory_limit)
+        seg_assignment, seg_cost = _optimize_chain(
+            graph, segment, candidates, tables, memory_limit)
         assignment.update(seg_assignment)
         segment_costs.append(seg_cost)
         total += seg_cost
-        evaluations += seg_evals
 
     return DynamicProgrammingResult(
         assignment=assignment,
         total_cost=total,
         segment_costs=segment_costs,
-        evaluations=evaluations,
+        evaluations=tables.cells_materialized - cells_before,
     )
 
 
@@ -87,72 +105,55 @@ def _optimize_chain(
     graph: ComputeGraph,
     chain: Sequence[int],
     candidates: Sequence[ParallelSpec],
-    wafer: WaferConfig,
-    config: SimulatorConfig,
+    tables: CostTables,
     memory_limit: Optional[float],
-) -> (Dict[int, ParallelSpec], float, int):
+) -> Tuple[Dict[int, ParallelSpec], float]:
     """Classic chain DP: state = (position, spec of the previous operator)."""
     num_ops = len(chain)
     num_specs = len(candidates)
-    evaluations = 0
 
-    # intra_cost[i][s]: cost of operator i under spec s; memory[i][s] likewise.
-    intra_cost: List[List[float]] = []
-    memory: List[List[float]] = []
-    for node_id in chain:
-        operator = graph.node(node_id).operator
-        row_cost: List[float] = []
-        row_memory: List[float] = []
-        for spec in candidates:
-            cost = intra_operator_cost(operator, spec, wafer, config)
-            evaluations += 1
-            row_cost.append(cost.total)
-            row_memory.append(cost.memory_bytes)
-        intra_cost.append(row_cost)
-        memory.append(row_memory)
+    intra = [tables.intra_row(node_id) for node_id in chain]
+    memory = [tables.memory_row(node_id) for node_id in chain]
 
-    # best[i][s]: minimal cost of the prefix ending at operator i with spec s.
-    best = [[float("inf")] * num_specs for _ in range(num_ops)]
-    parent = [[-1] * num_specs for _ in range(num_ops)]
-    for s in range(num_specs):
-        best[0][s] = intra_cost[0][s]
+    # best[s]: minimal cost of the prefix ending at the current operator with
+    # spec s; parent[i][s] backtracks the minimising predecessor spec.
+    best = intra[0].copy()
+    parent = np.full((num_ops, num_specs), -1, dtype=np.int64)
     for i in range(1, num_ops):
-        producer = graph.node(chain[i - 1]).operator
-        for s in range(num_specs):
-            for prev in range(num_specs):
-                reshard = inter_operator_cost(
-                    producer, candidates[prev], candidates[s], wafer, config)
-                evaluations += 1
-                cost = best[i - 1][prev] + reshard + intra_cost[i][s]
-                if cost < best[i][s]:
-                    best[i][s] = cost
-                    parent[i][s] = prev
+        transition = (
+            best[:, None]
+            + tables.reshard_matrix(chain[i - 1])
+            + intra[i][None, :]
+        )
+        parent[i] = np.argmin(transition, axis=0)
+        best = transition[parent[i], np.arange(num_specs)]
 
-    # Memory feasibility: penalise chains whose total footprint blows the budget.
+    # Memory feasibility: penalise chains whose total footprint blows the
+    # budget. Keep the unpenalised costs so the OOM fallback below can still
+    # report the true cost of the path it returns.
+    unpenalized = best
     if memory_limit is not None:
-        for s in range(num_specs):
-            footprint = sum(memory[i][s] for i in range(num_ops))
-            if footprint > memory_limit:
-                best[num_ops - 1][s] = float("inf")
+        footprint = np.sum(memory, axis=0)
+        best = np.where(footprint > memory_limit, np.inf, best)
 
-    final_spec = min(range(num_specs), key=lambda s: best[num_ops - 1][s])
-    total_cost = best[num_ops - 1][final_spec]
+    final_spec = int(np.argmin(best))
+    total_cost = float(best[final_spec])
     if total_cost == float("inf"):
-        # Every spec violated the memory budget: keep the cheapest anyway so the
-        # caller can still report an (OOM) assignment.
-        final_spec = min(
-            range(num_specs),
-            key=lambda s: sum(memory[i][s] for i in range(num_ops)))
-        total_cost = sum(intra_cost[i][final_spec] for i in range(num_ops))
+        # Every spec violated the memory budget: keep the smallest-footprint
+        # spec anyway so the caller can still report an (OOM) assignment, and
+        # charge it the full path cost — intra plus resharding — of the path
+        # the backtrack below returns.
+        final_spec = int(np.argmin(np.sum(memory, axis=0)))
+        total_cost = float(unpenalized[final_spec])
 
     # Backtrack the chosen specs.
     chosen = [0] * num_ops
     chosen[num_ops - 1] = final_spec
     for i in range(num_ops - 1, 0, -1):
-        prev = parent[i][chosen[i]]
+        prev = int(parent[i][chosen[i]])
         chosen[i - 1] = prev if prev >= 0 else chosen[i]
 
     assignment = {
         chain[i]: candidates[chosen[i]] for i in range(num_ops)
     }
-    return assignment, total_cost, evaluations
+    return assignment, total_cost

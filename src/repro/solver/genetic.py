@@ -7,6 +7,13 @@ resharding pattern two operators later). Genes encode the per-operator spec
 index; the population evolves with tournament selection, single-point
 crossover, per-gene mutation, and elitism. Because the DP already pared the
 space down, a few dozen generations converge.
+
+Fitness is read from the vectorized tables of
+:class:`~repro.costmodel.tables.CostTables`: the initial population is scored
+with one fancy-indexed pass, elites carry their cost forward, and each child
+is scored incrementally from its first parent's cost by re-evaluating only
+the genes the crossover/mutation changed (and the resharding edges incident
+to them) instead of rescoring the whole graph.
 """
 
 from __future__ import annotations
@@ -15,7 +22,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.costmodel.analytical import graph_cost
+import numpy as np
+
+from repro.costmodel.tables import CostTables
 from repro.hardware.config import WaferConfig
 from repro.parallelism.spec import ParallelSpec
 from repro.simulation.config import SimulatorConfig
@@ -71,6 +80,7 @@ class GeneticRefiner:
         config: Optional[SimulatorConfig] = None,
         genetic_config: Optional[GeneticConfig] = None,
         cost_function: Optional[Callable[[Dict[int, ParallelSpec]], float]] = None,
+        tables: Optional[CostTables] = None,
     ) -> None:
         if not candidates:
             raise ValueError("candidate spec list must not be empty")
@@ -81,16 +91,45 @@ class GeneticRefiner:
         self.config = genetic_config or GeneticConfig()
         self._cost_function = cost_function
         self._node_ids = [node.node_id for node in graph.nodes()]
+        self._spec_index = {
+            spec: index for index, spec in enumerate(self.candidates)}
+        # A custom cost function bypasses the analytical model entirely, so
+        # the tables are only built (or accepted) for the default fitness.
+        self._tables: Optional[CostTables] = None
+        if cost_function is None:
+            if tables is not None:
+                tables.ensure_compatible(
+                    graph, self.candidates, wafer, self.sim_config)
+                self._tables = tables
+            else:
+                self._tables = CostTables(
+                    graph, self.candidates, wafer, self.sim_config)
         self._evaluations = 0
 
     # Cost -------------------------------------------------------------------------
 
     def _cost_of(self, genome: Sequence[int]) -> float:
-        assignment = self._assignment_from(genome)
         self._evaluations += 1
         if self._cost_function is not None:
-            return self._cost_function(assignment)
-        return graph_cost(self.graph, assignment, self.wafer, self.sim_config)
+            return self._cost_function(self._assignment_from(genome))
+        return self._tables.genome_cost(np.asarray(genome, dtype=np.int64))
+
+    def _child_cost(
+        self, parent: Sequence[int], parent_cost: float, child: Sequence[int]
+    ) -> float:
+        """Score a child incrementally from its first parent where possible."""
+        if self._cost_function is not None:
+            return self._cost_of(child)
+        self._evaluations += 1
+        return self._tables.delta_cost(parent, parent_cost, child)
+
+    def _population_costs(self, population: List[List[int]]) -> List[float]:
+        """Score a whole population (vectorized on the tables when available)."""
+        if self._cost_function is not None:
+            return [self._cost_of(genome) for genome in population]
+        self._evaluations += len(population)
+        genomes = np.asarray(population, dtype=np.int64)
+        return [float(cost) for cost in self._tables.population_costs(genomes)]
 
     def _assignment_from(self, genome: Sequence[int]) -> Dict[int, ParallelSpec]:
         return {
@@ -116,7 +155,7 @@ class GeneticRefiner:
             population.append(
                 [rng.randrange(num_specs) for _ in range(genome_length)])
 
-        costs = [self._cost_of(genome) for genome in population]
+        costs = self._population_costs(population)
         history: List[float] = [min(costs)]
 
         for _ in range(self.config.generations):
@@ -134,14 +173,10 @@ class GeneticRefiner:
         )
 
     def _genome_from(self, assignment: Dict[int, ParallelSpec]) -> List[int]:
-        genome: List[int] = []
-        for node_id in self._node_ids:
-            spec = assignment[node_id]
-            try:
-                genome.append(self.candidates.index(spec))
-            except ValueError:
-                genome.append(0)
-        return genome
+        return [
+            self._spec_index.get(assignment[node_id], 0)
+            for node_id in self._node_ids
+        ]
 
     def _next_generation(
         self,
@@ -154,22 +189,27 @@ class GeneticRefiner:
         next_population: List[List[int]] = [
             list(population[order[i]]) for i in range(self.config.elite_count)
         ]
+        # Elites keep their (deterministic) cost; only new children are scored.
+        next_costs: List[float] = [
+            costs[order[i]] for i in range(self.config.elite_count)
+        ]
         while len(next_population) < self.config.population_size:
-            parent_a = self._tournament(population, costs, rng)
-            parent_b = self._tournament(population, costs, rng)
-            child = self._crossover(parent_a, parent_b, rng)
+            index_a = self._tournament(population, costs, rng)
+            index_b = self._tournament(population, costs, rng)
+            parent_a = list(population[index_a])
+            child = self._crossover(parent_a, population[index_b], rng)
             self._mutate(child, rng, num_specs)
             next_population.append(child)
-        next_costs = [self._cost_of(genome) for genome in next_population]
+            next_costs.append(
+                self._child_cost(parent_a, costs[index_a], child))
         return next_population, next_costs
 
     def _tournament(
         self, population: List[List[int]], costs: List[float], rng: random.Random
-    ) -> List[int]:
+    ) -> int:
         contenders = rng.sample(range(len(population)),
                                 min(self.config.tournament_size, len(population)))
-        winner = min(contenders, key=lambda i: costs[i])
-        return list(population[winner])
+        return min(contenders, key=lambda i: costs[i])
 
     def _crossover(
         self, parent_a: List[int], parent_b: List[int], rng: random.Random

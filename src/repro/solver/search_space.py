@@ -17,10 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+from repro.costmodel.tables import PlanCache
 from repro.hardware.config import WaferConfig, default_wafer_config
 from repro.parallelism.baselines import BaselineScheme, candidate_specs
 from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.strategies import analyze_model
 from repro.workloads.models import ModelConfig
 
 
@@ -57,12 +57,16 @@ class SearchSpace:
         )
 
     def pruned_candidates(
-        self, wafer: Optional[WaferConfig] = None, memory_margin: float = 1.5
+        self,
+        wafer: Optional[WaferConfig] = None,
+        memory_margin: float = 1.5,
+        plan_cache: Optional[PlanCache] = None,
     ) -> List[ParallelSpec]:
         """Candidates surviving the memory-based pruning."""
         wafer = wafer or default_wafer_config()
         return prune_specs(
-            self.candidates(), self.model, wafer, memory_margin=memory_margin)
+            self.candidates(), self.model, wafer, memory_margin=memory_margin,
+            plan_cache=plan_cache)
 
 
 def prune_specs(
@@ -70,6 +74,7 @@ def prune_specs(
     model: ModelConfig,
     wafer: WaferConfig,
     memory_margin: float = 1.5,
+    plan_cache: Optional[PlanCache] = None,
 ) -> List[ParallelSpec]:
     """Drop configurations that cannot possibly fit in memory.
 
@@ -81,23 +86,31 @@ def prune_specs(
             ``memory_margin x capacity`` are pruned outright (mildly
             over-capacity candidates are kept so the simulator can report them
             as OOM, matching how the paper presents OOM bars).
+        plan_cache: shared execution-plan cache; callers that analyse the
+            surviving specs again (finalist ranking, simulation) pass their
+            cache here so every plan is derived exactly once. A private cache
+            is used when omitted.
 
     Returns:
         The surviving configurations, in the original order.
     """
     if memory_margin <= 0:
         raise ValueError(f"memory_margin must be positive, got {memory_margin}")
+    # Explicit None check: an empty PlanCache is falsy (it has __len__).
+    if plan_cache is None:
+        plan_cache = PlanCache()
     capacity = wafer.die.hbm.capacity
     survivors: List[ParallelSpec] = []
     for spec in specs:
-        plan = analyze_model(model, spec)
+        plan = plan_cache.analyze(model, spec)
         if plan.memory.total <= capacity * memory_margin:
             survivors.append(spec)
             continue
         # A configuration may still become feasible once activation
         # checkpointing is enabled; keep it if the checkpointed footprint is
         # within the margin.
-        checkpointed = analyze_model(model, spec, activation_checkpointing=True)
+        checkpointed = plan_cache.analyze(
+            model, spec, activation_checkpointing=True)
         if checkpointed.memory.total <= capacity * memory_margin:
             survivors.append(spec)
     return survivors

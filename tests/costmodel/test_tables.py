@@ -1,0 +1,274 @@
+"""Parity tests for the vectorized cost-table layer.
+
+The scalar functions of :mod:`repro.costmodel.analytical` are the reference
+implementation of Eqs. (2)-(4); :class:`repro.costmodel.tables.CostTables`
+must reproduce every cell to within 1e-9 relative error, and the solvers
+built on the tables must return the same assignments and costs as the scalar
+implementation they replaced.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.costmodel.analytical import (
+    graph_cost,
+    inter_operator_cost,
+    intra_operator_cost,
+)
+from repro.costmodel.tables import CostTables, PlanCache
+from repro.hardware.config import default_wafer_config
+from repro.parallelism.spec import ParallelSpec
+from repro.simulation.config import SimulatorConfig
+from repro.solver.dp import optimize_segments
+from repro.solver.genetic import GeneticConfig, GeneticRefiner
+from repro.workloads.transformer import representative_layer_graph
+
+REL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def wafer_config():
+    return default_wafer_config()
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SimulatorConfig()
+
+
+@pytest.fixture(scope="module")
+def layer_graph(gpt3_6b):
+    return representative_layer_graph(gpt3_6b)
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    # Exercise every cost-model branch: pure DP, TATP, TP collectives, FSDP
+    # gathers, DP gradient reduction, SP/CP sequence splits, and the
+    # Megatron-3 coupled-SP layout.
+    return [
+        ParallelSpec(dp=32),
+        ParallelSpec(dp=4, tatp=8),
+        ParallelSpec(dp=2, tp=2, tatp=8),
+        ParallelSpec(tatp=32),
+        ParallelSpec(fsdp=32),
+        ParallelSpec(dp=2, fsdp=2, tp=4, sp=2),
+        ParallelSpec(tp=8, sp=4),
+        ParallelSpec(tp=4, tatp=8, sp_within_tp=True),
+        ParallelSpec(dp=2, cp=2, tp=8),
+    ]
+
+
+@pytest.fixture(scope="module")
+def tables(layer_graph, candidates, wafer_config, sim):
+    return CostTables(layer_graph, candidates, wafer_config, sim)
+
+
+class TestScalarParity:
+    def test_intra_matches_scalar(
+            self, layer_graph, candidates, wafer_config, sim, tables):
+        for node in layer_graph.nodes():
+            row = tables.intra_row(node.node_id)
+            mem = tables.memory_row(node.node_id)
+            for s, spec in enumerate(candidates):
+                ref = intra_operator_cost(node.operator, spec, wafer_config, sim)
+                assert row[s] == pytest.approx(ref.total, rel=REL)
+                assert mem[s] == pytest.approx(ref.memory_bytes, rel=REL)
+
+    def test_reshard_matches_scalar(
+            self, layer_graph, candidates, wafer_config, sim, tables):
+        for src, _ in layer_graph.edges():
+            matrix = tables.reshard_matrix(src)
+            producer = layer_graph.node(src).operator
+            for a, spec_a in enumerate(candidates):
+                for b, spec_b in enumerate(candidates):
+                    ref = inter_operator_cost(
+                        producer, spec_a, spec_b, wafer_config, sim)
+                    assert matrix[a, b] == pytest.approx(ref, rel=REL, abs=0.0)
+
+    def test_assignment_cost_matches_graph_cost(
+            self, layer_graph, candidates, wafer_config, sim, tables):
+        rng = random.Random(0)
+        for _ in range(10):
+            assignment = {
+                node.node_id: candidates[rng.randrange(len(candidates))]
+                for node in layer_graph.nodes()
+            }
+            want = graph_cost(layer_graph, assignment, wafer_config, sim)
+            assert tables.assignment_cost(assignment) == pytest.approx(
+                want, rel=REL)
+
+    def test_population_costs_match_genome_cost(self, layer_graph, tables):
+        rng = random.Random(1)
+        genomes = np.asarray([
+            [rng.randrange(tables.num_specs)
+             for _ in range(layer_graph.num_nodes)]
+            for _ in range(8)
+        ])
+        batched = tables.population_costs(genomes)
+        for genome, cost in zip(genomes, batched):
+            assert cost == pytest.approx(tables.genome_cost(genome), rel=REL)
+
+    def test_delta_cost_matches_full_rescore(self, layer_graph, tables):
+        rng = random.Random(2)
+        length = layer_graph.num_nodes
+        for _ in range(20):
+            genome = [rng.randrange(tables.num_specs) for _ in range(length)]
+            child = list(genome)
+            for _ in range(rng.randrange(0, length)):
+                child[rng.randrange(length)] = rng.randrange(tables.num_specs)
+            base = tables.genome_cost(np.asarray(genome))
+            got = tables.delta_cost(genome, base, child)
+            want = tables.genome_cost(np.asarray(child))
+            assert got == pytest.approx(want, rel=REL)
+
+
+def _scalar_chain_dp(graph, chain, candidates, wafer, sim):
+    """The seed implementation's scalar chain DP, kept as the test oracle."""
+    num_ops, num_specs = len(chain), len(candidates)
+    intra = [
+        [intra_operator_cost(graph.node(nid).operator, spec, wafer, sim).total
+         for spec in candidates]
+        for nid in chain
+    ]
+    best = [[float("inf")] * num_specs for _ in range(num_ops)]
+    parent = [[-1] * num_specs for _ in range(num_ops)]
+    best[0] = list(intra[0])
+    for i in range(1, num_ops):
+        producer = graph.node(chain[i - 1]).operator
+        for s in range(num_specs):
+            for prev in range(num_specs):
+                cost = best[i - 1][prev] + inter_operator_cost(
+                    producer, candidates[prev], candidates[s], wafer, sim
+                ) + intra[i][s]
+                if cost < best[i][s]:
+                    best[i][s] = cost
+                    parent[i][s] = prev
+    final = min(range(num_specs), key=lambda s: best[num_ops - 1][s])
+    chosen = [0] * num_ops
+    chosen[-1] = final
+    for i in range(num_ops - 1, 0, -1):
+        chosen[i - 1] = parent[i][chosen[i]]
+    return (
+        {chain[i]: candidates[chosen[i]] for i in range(num_ops)},
+        best[num_ops - 1][final],
+    )
+
+
+class TestSolverParity:
+    def test_dp_matches_scalar_reference(
+            self, layer_graph, candidates, wafer_config, sim):
+        result = optimize_segments(layer_graph, candidates, wafer_config, sim)
+        want_cost = 0.0
+        want_assignment = {}
+        for chain in layer_graph.partition_at_residual_boundaries():
+            assignment, cost = _scalar_chain_dp(
+                layer_graph, chain, candidates, wafer_config, sim)
+            want_assignment.update(assignment)
+            want_cost += cost
+        assert result.assignment == want_assignment
+        assert result.total_cost == pytest.approx(want_cost, rel=REL)
+
+    def test_dp_evaluations_count_table_cells(
+            self, layer_graph, candidates, wafer_config, sim):
+        result = optimize_segments(layer_graph, candidates, wafer_config, sim)
+        num_specs = len(candidates)
+        transitions = sum(
+            len(chain) - 1
+            for chain in layer_graph.partition_at_residual_boundaries())
+        expected = (layer_graph.num_nodes * num_specs
+                    + transitions * num_specs ** 2)
+        assert result.evaluations == expected
+
+    def test_mismatched_tables_rejected(
+            self, layer_graph, candidates, wafer_config, sim, tables, gpt3_6b):
+        subset = candidates[:3]
+        with pytest.raises(ValueError, match="different candidate list"):
+            optimize_segments(layer_graph, subset, wafer_config, sim,
+                              tables=tables)
+        with pytest.raises(ValueError, match="different candidate list"):
+            GeneticRefiner(layer_graph, subset, wafer_config, sim,
+                           tables=tables)
+        other_graph = representative_layer_graph(gpt3_6b)
+        with pytest.raises(ValueError, match="different graph"):
+            optimize_segments(other_graph, candidates, wafer_config, sim,
+                              tables=tables)
+        other_wafer = default_wafer_config(rows=2, cols=4)
+        with pytest.raises(ValueError, match="different wafer"):
+            optimize_segments(layer_graph, candidates, other_wafer, sim,
+                              tables=tables)
+        other_sim = SimulatorConfig(base_mfu=0.123)
+        with pytest.raises(ValueError, match="different simulator"):
+            GeneticRefiner(layer_graph, candidates, wafer_config, other_sim,
+                           tables=tables)
+        # Omitting config means default knobs, not "accept whatever the
+        # tables were built with".
+        nondefault = CostTables(layer_graph, candidates, wafer_config, other_sim)
+        with pytest.raises(ValueError, match="different simulator"):
+            optimize_segments(layer_graph, candidates, wafer_config,
+                              tables=nondefault)
+        with pytest.raises(ValueError, match="different simulator"):
+            GeneticRefiner(layer_graph, candidates, wafer_config,
+                           tables=nondefault)
+
+    def test_ga_matches_scalar_cost_function(
+            self, layer_graph, candidates, wafer_config, sim):
+        genetic_config = GeneticConfig(
+            population_size=10, generations=6, seed=11)
+        dp_result = optimize_segments(layer_graph, candidates, wafer_config, sim)
+        fast = GeneticRefiner(
+            layer_graph, candidates, wafer_config, sim,
+            genetic_config=genetic_config,
+        ).refine(initial_assignment=dp_result.assignment)
+        reference = GeneticRefiner(
+            layer_graph, candidates, wafer_config, sim,
+            genetic_config=genetic_config,
+            cost_function=lambda assignment: graph_cost(
+                layer_graph, assignment, wafer_config, sim),
+        ).refine(initial_assignment=dp_result.assignment)
+        assert fast.assignment == reference.assignment
+        assert fast.cost == pytest.approx(reference.cost, rel=REL)
+        assert fast.history == pytest.approx(reference.history, rel=REL)
+
+
+class TestPlanCache:
+    def test_repeat_analyze_hits_cache(self, gpt3_6b):
+        cache = PlanCache()
+        spec = ParallelSpec(dp=4, tatp=8)
+        first = cache.analyze(gpt3_6b, spec)
+        again = cache.analyze(gpt3_6b, spec)
+        assert first is again
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_device_count_normalised(self, gpt3_6b):
+        # Implicit (None) and explicit device counts describe the same plan
+        # and must share one cache entry.
+        cache = PlanCache()
+        spec = ParallelSpec(dp=4, tatp=8)
+        implicit = cache.analyze(gpt3_6b, spec)
+        explicit = cache.analyze(gpt3_6b, spec, num_devices=spec.total_degree)
+        assert implicit is explicit
+        assert cache.misses == 1
+
+    def test_distinct_variants_are_distinct_entries(self, gpt3_6b):
+        cache = PlanCache()
+        spec = ParallelSpec(dp=4, tatp=8)
+        plain = cache.analyze(gpt3_6b, spec)
+        checkpointed = cache.analyze(
+            gpt3_6b, spec, activation_checkpointing=True)
+        assert plain is not checkpointed
+        assert cache.misses == 2
+
+    def test_eviction_bound(self, gpt3_6b):
+        cache = PlanCache(max_entries=1)
+        cache.analyze(gpt3_6b, ParallelSpec(dp=4, tatp=8))
+        cache.analyze(gpt3_6b, ParallelSpec(dp=32))
+        cache.analyze(gpt3_6b, ParallelSpec(dp=4, tatp=8))
+        assert len(cache) == 1
+        assert cache.misses == 3
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)

@@ -96,6 +96,29 @@ class TestDynamicProgramming:
         with pytest.raises(ValueError):
             optimize_segments(layer_graph, [], wafer_config)
 
+    def test_oom_fallback_cost_includes_resharding(
+            self, layer_graph, candidates, wafer_config):
+        from repro.costmodel.analytical import (
+            inter_operator_cost, intra_operator_cost)
+        # A zero-byte budget forces the fallback path on every segment. The
+        # reported cost must equal the full chain cost — intra plus
+        # resharding — of the assignment actually returned (the seed
+        # implementation silently dropped the resharding terms here).
+        result = optimize_segments(
+            layer_graph, candidates, wafer_config, memory_limit=0.0)
+        want = 0.0
+        for chain in layer_graph.partition_at_residual_boundaries():
+            for node_id in chain:
+                want += intra_operator_cost(
+                    layer_graph.node(node_id).operator,
+                    result.assignment[node_id], wafer_config).total
+            for prev_id, node_id in zip(chain, chain[1:]):
+                want += inter_operator_cost(
+                    layer_graph.node(prev_id).operator,
+                    result.assignment[prev_id],
+                    result.assignment[node_id], wafer_config)
+        assert result.total_cost == pytest.approx(want, rel=1e-9)
+
 
 class TestGeneticRefiner:
     def test_refinement_not_worse_than_seed(self, layer_graph, candidates, wafer_config):
@@ -173,3 +196,29 @@ class TestDualLevelWaferSolver:
     def test_invalid_finalist_count(self):
         with pytest.raises(ValueError):
             DualLevelWaferSolver(num_finalists=0)
+
+    def test_solve_never_reanalyzes_a_plan(self, gpt3_6b, monkeypatch):
+        # Pruning, finalist ranking, and finalist simulation all need the
+        # same execution plans; the shared plan cache must derive each
+        # distinct (model, spec, devices, checkpointing) plan exactly once.
+        import repro.costmodel.tables as tables_module
+        real_analyze = tables_module.analyze_model
+        computed = []
+
+        def counting_analyze(model, spec, num_devices=None,
+                             activation_checkpointing=False, **kwargs):
+            computed.append(
+                (model.name, spec, num_devices, activation_checkpointing))
+            return real_analyze(
+                model, spec, num_devices=num_devices,
+                activation_checkpointing=activation_checkpointing, **kwargs)
+
+        monkeypatch.setattr(tables_module, "analyze_model", counting_analyze)
+        solver = DualLevelWaferSolver(num_finalists=4)
+        result = solver.solve(gpt3_6b)
+        assert len(computed) == len(set(computed)), \
+            "analyze_model ran twice for the same (model, spec) key"
+        # Finalist ranking and simulation re-read plans the pruning already
+        # derived, so the cache must have served repeat lookups.
+        assert result.plan_cache_hits > 0
+        assert result.plan_cache_misses == len(computed)
