@@ -1,5 +1,23 @@
-"""Setuptools shim for environments without the ``wheel`` package."""
+"""Packaging for the TEMP reproduction.
 
-from setuptools import setup
+Installing the package (``pip install -e .``) provides the ``repro`` console
+script — the same CLI as ``PYTHONPATH=src python -m repro``.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="temp-repro",
+    version="0.1.0",
+    description="Reproduction of TEMP: memory-efficient physical-aware "
+                "tensor partition-mapping for wafer-scale chips (HPCA 2026)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.runner.cli:main",
+        ],
+    },
+)

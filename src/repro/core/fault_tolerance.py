@@ -19,7 +19,7 @@ The paper's three-step flow:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.hardware.faults import FaultModel, FaultType, classify_faults
 from repro.hardware.wafer import WaferScaleChip

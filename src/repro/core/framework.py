@@ -56,6 +56,7 @@ def evaluate_baseline(
     max_tatp: int = 32,
     pipeline_degrees: Sequence[int] = (1,),
     max_candidates: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> BaselineResult:
     """Evaluate one scheme with one mapping engine on one model.
 
@@ -63,13 +64,18 @@ def evaluate_baseline(
     fastest configuration that fits in memory wins. When no configuration
     fits, the result is flagged OOM and carries the least-over-capacity report
     (this is how the OOM bars of Fig. 13 are produced).
+
+    ``plan_cache`` lets a caller evaluating many (scheme, engine, model) cells
+    — e.g. a sweep-orchestrator worker — share one memoised ``analyze_model``
+    across evaluations; the cache is pure memoisation, so results are
+    identical with a private or a shared cache.
     """
     wafer = wafer or WaferScaleChip()
     simulator = WaferSimulator(wafer, config)
     num_devices = wafer.num_dies
-    # Pruning and the simulation loop below analyse the same specs; one plan
-    # cache per evaluation derives each execution plan exactly once.
-    plan_cache = PlanCache()
+    # Pruning and the simulation loop below analyse the same specs; the plan
+    # cache derives each execution plan exactly once.
+    plan_cache = plan_cache if plan_cache is not None else PlanCache()
     # Megatron recipes keep the tensor-parallel degree within one high-bandwidth
     # group of 8; TEMP's own space may push TP (and TATP) further.
     max_tp = min(32, model.num_heads)
@@ -155,6 +161,8 @@ class TEMP:
         enable_tcme: use the traffic-conscious mapping engine; when disabled
             the naive sequential mapper is used instead (ablation switch).
         max_tatp: cap on the TATP degree the solver explores.
+        plan_cache: optional shared ``analyze_model`` memoisation (see
+            :func:`evaluate_baseline`).
     """
 
     def __init__(
@@ -164,12 +172,14 @@ class TEMP:
         enable_tatp: bool = True,
         enable_tcme: bool = True,
         max_tatp: int = 32,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.wafer = wafer or WaferScaleChip()
         self.config = config or SimulatorConfig()
         self.enable_tatp = enable_tatp
         self.enable_tcme = enable_tcme
         self.max_tatp = max_tatp if enable_tatp else 1
+        self.plan_cache = plan_cache
 
     @property
     def mapping_engine(self) -> str:
@@ -197,6 +207,7 @@ class TEMP:
             max_tatp=self.max_tatp,
             pipeline_degrees=pipeline_degrees,
             max_candidates=max_candidates,
+            plan_cache=self.plan_cache,
         )
         return result
 

@@ -9,7 +9,7 @@ arithmetic in one place.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 
 def speedup(baseline_time: float, optimized_time: float) -> float:

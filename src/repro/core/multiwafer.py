@@ -15,14 +15,13 @@ the bubble term.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
+from repro.costmodel.tables import PlanCache
 from repro.hardware.multiwafer import MultiWaferSystem
-from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme, candidate_specs
 from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.strategies import analyze_model
 from repro.simulation.config import SimulatorConfig
 from repro.simulation.simulator import SimulationReport, WaferSimulator
 from repro.solver.search_space import prune_specs
@@ -84,11 +83,18 @@ def evaluate_multiwafer(
     config: Optional[SimulatorConfig] = None,
     num_microbatches: int = 16,
     max_tatp: int = 32,
+    plan_cache: Optional[PlanCache] = None,
 ) -> MultiWaferResult:
-    """Evaluate one scheme + mapping engine on a multi-wafer system."""
+    """Evaluate one scheme + mapping engine on a multi-wafer system.
+
+    ``plan_cache`` lets a caller sweeping many (scheme, engine, model) cells
+    share one memoised ``analyze_model`` across evaluations (the cache is
+    pure memoisation; results are identical with or without it).
+    """
     if num_wafers < 1:
         raise ValueError("num_wafers must be >= 1")
     config = config or SimulatorConfig()
+    plan_cache = plan_cache if plan_cache is not None else PlanCache()
     system = MultiWaferSystem(num_wafers)
     wafer = system.wafers[0]
     simulator = WaferSimulator(wafer, config)
@@ -107,11 +113,12 @@ def evaluate_multiwafer(
             max_tatp=max_tatp,
             pipeline_degrees=(pp,),
         )
-        specs = prune_specs(specs, model, wafer.config, memory_margin=2.0)
+        specs = prune_specs(specs, model, wafer.config, memory_margin=2.0,
+                            plan_cache=plan_cache)
         for spec in specs:
             result = _evaluate_spec(
                 scheme, engine, model, spec, system, simulator, config,
-                num_microbatches)
+                num_microbatches, plan_cache)
             if result.oom:
                 if fallback is None or result.step_time < fallback.step_time:
                     fallback = result
@@ -135,9 +142,10 @@ def _evaluate_spec(
     simulator: WaferSimulator,
     config: SimulatorConfig,
     num_microbatches: int,
+    plan_cache: PlanCache,
 ) -> MultiWaferResult:
     """Simulate one pipelined configuration on the multi-wafer system."""
-    plan = analyze_model(
+    plan = plan_cache.analyze(
         model, spec, num_devices=spec.total_degree,
         num_microbatches=num_microbatches)
     report = simulator.simulate(plan, engine=engine)

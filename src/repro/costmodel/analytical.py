@@ -21,7 +21,6 @@ from typing import Dict, Optional
 from repro.hardware.config import WaferConfig
 from repro.parallelism.comm import CollectiveType, collective_wire_bytes
 from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.tatp import select_stream_tensor, StreamChoice
 from repro.simulation.communication import collective_steps, effective_bandwidth
 from repro.simulation.config import SimulatorConfig
 from repro.workloads.graph import ComputeGraph

@@ -8,13 +8,13 @@ re-running the simulator for every candidate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.costmodel.dataset import CostSample
-from repro.costmodel.features import FEATURE_NAMES, feature_matrix
+from repro.costmodel.features import feature_matrix
 
 
 @dataclass

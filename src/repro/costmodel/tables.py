@@ -122,7 +122,8 @@ class _SpecColumns:
     """Candidate-spec attributes as parallel numpy columns (one row per spec)."""
 
     def __init__(self, candidates: Sequence[ParallelSpec]) -> None:
-        as_int = lambda values: np.asarray(list(values), dtype=np.int64)
+        def as_int(values):
+            return np.asarray(list(values), dtype=np.int64)
         self.tp = as_int(spec.tp for spec in candidates)
         self.dp = as_int(spec.dp for spec in candidates)
         self.fsdp = as_int(spec.fsdp for spec in candidates)
@@ -419,7 +420,9 @@ class CostTables:
         """
         cols, wafer, config = self._cols, self.wafer, self.config
         hop = self.hop_factor
-        column = lambda values: np.asarray(list(values))[:, None]
+
+        def column(values):
+            return np.asarray(list(values))[:, None]
         op_flops = column(op.total_flops for op in operators)
         op_in = column(op.input_bytes for op in operators)
         op_weight = column(op.weight_bytes for op in operators)

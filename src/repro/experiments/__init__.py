@@ -1,9 +1,11 @@
 """Experiment runners — one per table/figure of the paper's evaluation.
 
-Every module exposes a ``run_*`` function returning plain dictionaries/lists so
-the benchmark harness (``benchmarks/``) can both time the experiment and print
-the same rows/series the paper reports, and so ``EXPERIMENTS.md`` can be
-regenerated from the same source of truth.
+Every module registers its figure with the experiment registry
+(:mod:`repro.runner.registry`) at import time: a cell runner, the
+default/reduced parameter grids, and the manifest row schema. The registry
+is the single source of truth — ``__all__`` below, the ``python -m repro``
+CLI, the sweep orchestrator, and the generated ``EXPERIMENTS.md`` index are
+all derived from it.
 
 | Figure | Runner |
 |--------|--------|
@@ -22,10 +24,39 @@ regenerated from the same source of truth.
 | §VIII-H       | :mod:`repro.experiments.search_time` |
 """
 
-from repro.experiments.fig13_overall import run_overall_comparison
-from repro.experiments.fig16_ablation import run_ablation
+import importlib
 
-__all__ = [
-    "run_overall_comparison",
-    "run_ablation",
-]
+# Importing the figure modules populates the registry.
+from repro.experiments import fig04_motivation  # noqa: F401
+from repro.experiments import fig07_ring_utilization  # noqa: F401
+from repro.experiments import fig09_sweet_spot  # noqa: F401
+from repro.experiments import fig13_overall  # noqa: F401
+from repro.experiments import fig14_power  # noqa: F401
+from repro.experiments import fig15_gpu_comparison  # noqa: F401
+from repro.experiments import fig16_ablation  # noqa: F401
+from repro.experiments import fig17_parallel_configs  # noqa: F401
+from repro.experiments import fig18_convergence  # noqa: F401
+from repro.experiments import fig19_multiwafer  # noqa: F401
+from repro.experiments import fig20_fault_tolerance  # noqa: F401
+from repro.experiments import fig21_cost_model  # noqa: F401
+from repro.experiments import search_time  # noqa: F401
+from repro.runner import registry as _registry
+
+
+def _export_entrypoints():
+    """Re-export every registered entrypoint.
+
+    ``__all__`` is derived from the registry, so a newly registered figure's
+    public runners become importable from ``repro.experiments`` without
+    touching this file.
+    """
+    names = []
+    for experiment in _registry.all_experiments():
+        module = importlib.import_module(experiment.module)
+        for name in experiment.entrypoints:
+            globals()[name] = getattr(module, name)
+            names.append(name)
+    return sorted(names)
+
+
+__all__ = _export_entrypoints()

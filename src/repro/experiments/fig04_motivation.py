@@ -13,15 +13,16 @@ Two measurements drive the paper's motivation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.framework import evaluate_baseline
+from repro.costmodel.tables import PlanCache
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme
 from repro.parallelism.spec import ParallelSpec
 from repro.parallelism.strategies import analyze_model
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
-from repro.simulation.simulator import WaferSimulator
 from repro.workloads.models import get_model
 
 
@@ -76,6 +77,7 @@ def run_breakdown(
     models: Optional[Sequence[str]] = None,
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> List[BreakdownRow]:
     """Fig. 4(b): Megatron-style training-time breakdown per model."""
     model_names = list(models) if models is not None else list(BREAKDOWN_MODELS)
@@ -84,7 +86,8 @@ def run_breakdown(
     for name in model_names:
         model = get_model(name)
         result = evaluate_baseline(
-            BaselineScheme.MESP, "smap", model, wafer=wafer, config=config)
+            BaselineScheme.MESP, "smap", model, wafer=wafer, config=config,
+            plan_cache=plan_cache)
         report = result.report
         if report is None:
             continue
@@ -142,3 +145,52 @@ def run_motivation(
         breakdown=run_breakdown(breakdown_models, wafer, config),
         memory=run_memory_comparison(memory_models, wafer),
     )
+
+
+@register(
+    figure="fig04",
+    paper="Fig. 4(b)/(c)",
+    title="Motivation: the cost of stationary tensor partitioning",
+    default_grid=(
+        [{"part": "breakdown", "model": name} for name in BREAKDOWN_MODELS]
+        + [{"part": "memory", "model": name} for name in MEMORY_MODELS]),
+    reduced_grid=[
+        {"part": "breakdown", "model": "gpt3-6.7b"},
+        {"part": "memory", "model": "llama2-70b"},
+    ],
+    schema=("part", "model", "collective_fraction", "other_fraction",
+            "bandwidth_utilization", "spec", "megatron_gb", "ideal_gb",
+            "capacity_gb", "oom"),
+    entrypoints=("run_motivation", "run_breakdown", "run_memory_comparison"),
+    description="Fig. 4(b) measures the collective-communication share and "
+                "D2D bandwidth utilisation of Megatron-style execution; "
+                "Fig. 4(c) compares Megatron's replicated memory footprint "
+                "against the ideal fully-sharded one. Columns of the other "
+                "sub-study are null in each row.",
+)
+def motivation_cell(ctx, part, model):
+    """One (sub-study, model) cell of Fig. 4."""
+    if part == "breakdown":
+        return [{
+            "collective_fraction": row.collective_fraction,
+            "other_fraction": row.other_fraction,
+            "bandwidth_utilization": row.bandwidth_utilization,
+            "spec": row.spec,
+            "megatron_gb": None,
+            "ideal_gb": None,
+            "capacity_gb": None,
+            "oom": False,
+        } for row in run_breakdown(models=[model],
+                                   plan_cache=ctx.plan_cache)]
+    if part == "memory":
+        return [{
+            "collective_fraction": None,
+            "other_fraction": None,
+            "bandwidth_utilization": None,
+            "spec": None,
+            "megatron_gb": row.megatron_gb,
+            "ideal_gb": row.ideal_gb,
+            "capacity_gb": row.capacity_gb,
+            "oom": row.megatron_oom,
+        } for row in run_memory_comparison(models=[model])]
+    raise ValueError(f"unknown Fig. 4 part {part!r}")

@@ -13,14 +13,15 @@ assignment, and reports the achieved compute utilisation of both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.hardware.config import default_wafer_config
 from repro.hardware.wafer import WaferScaleChip
-from repro.mapping.engines import SMapEngine, TCMEEngine, MappingEngine
+from repro.mapping.engines import SMapEngine, TCMEEngine
 from repro.parallelism.spec import ParallelSpec
 from repro.parallelism.strategies import analyze_model
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
 from repro.simulation.simulator import WaferSimulator
 from repro.workloads.models import get_model
@@ -100,3 +101,34 @@ def run_ring_utilization(
                 logical_ring_utilization=logical.compute_utilization,
             ))
     return rows
+
+
+@register(
+    figure="fig07",
+    paper="Fig. 7(c)",
+    title="Compute utilisation of physical vs logical (scattered) rings",
+    # (4,5) is omitted: 20 dies are not divisible by the TATP degree 8 the
+    # figure fixes, so the runner would emit no rows for it.
+    default_grid={
+        "model": list(MODELS),
+        "wafer": ["4x8", "6x8", "8x10"],
+    },
+    reduced_grid={"model": ["llama2-7b"], "wafer": ["4x8"]},
+    schema=("model", "wafer", "wafer_dies", "physical_ring_utilization",
+            "logical_ring_utilization", "utilization_drop"),
+    entrypoints=("run_ring_utilization",),
+    description="The same TATP plan is mapped once onto contiguous physical "
+                "rings (TCME) and once deliberately scattered; the gap is "
+                "the multi-hop relay penalty that motivates TATP's topology "
+                "awareness.",
+)
+def ring_utilization_cell(ctx, model, wafer):
+    """One (model, wafer size) cell of Fig. 7(c)."""
+    rows_count, cols = (int(part) for part in wafer.split("x"))
+    return [{
+        "wafer_dies": row.wafer_dies,
+        "physical_ring_utilization": row.physical_ring_utilization,
+        "logical_ring_utilization": row.logical_ring_utilization,
+        "utilization_drop": row.utilization_drop,
+    } for row in run_ring_utilization(models=[model],
+                                      wafer_sizes=[(rows_count, cols)])]

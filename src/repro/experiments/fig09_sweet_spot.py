@@ -10,11 +10,12 @@ compute-dominated to communication/DRAM-dominated over the same sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.hardware.config import WaferConfig, default_wafer_config
 from repro.parallelism.tatp import TATPCharacteristics
+from repro.runner.registry import register
 from repro.simulation.communication import effective_bandwidth
 from repro.simulation.config import SimulatorConfig
 
@@ -152,3 +153,34 @@ def optimal_power_efficiency_degree(points: Sequence[SweetSpotPoint]) -> int:
     if not points:
         raise ValueError("cannot pick an optimum from an empty sweep")
     return max(points, key=lambda point: point.power_efficiency).degree
+
+
+@register(
+    figure="fig09",
+    paper="Fig. 9",
+    title="TATP parallel-degree sweet spot (throughput / memory / power)",
+    default_grid={"degree": list(DIE_COUNTS)},
+    reduced_grid={"degree": [2, 8, 16, 64]},
+    schema=("degree", "throughput", "memory_bytes_per_die", "compute_time",
+            "comm_time", "compute_power_fraction", "comm_power_fraction",
+            "dram_power_fraction", "total_power", "power_efficiency"),
+    entrypoints=("run_sweet_spot", "optimal_degree",
+                 "optimal_power_efficiency_degree"),
+    description="A fixed GPT-3-class linear layer is distributed across N "
+                "dies under TATP; throughput peaks at a moderate degree "
+                "while the power mix shifts from compute- to "
+                "communication/DRAM-dominated.",
+)
+def sweet_spot_cell(ctx, degree):
+    """One TATP degree of the Fig. 9 sweep (purely analytical)."""
+    return [{
+        "throughput": point.throughput,
+        "memory_bytes_per_die": point.memory_bytes_per_die,
+        "compute_time": point.compute_time,
+        "comm_time": point.comm_time,
+        "compute_power_fraction": point.compute_power_fraction,
+        "comm_power_fraction": point.comm_power_fraction,
+        "dram_power_fraction": point.dram_power_fraction,
+        "total_power": point.total_power,
+        "power_efficiency": point.power_efficiency,
+    } for point in run_sweet_spot(die_counts=[degree])]

@@ -14,8 +14,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.framework import BaselineResult, TEMP, evaluate_baseline
 from repro.core.metrics import geometric_mean
+from repro.costmodel.tables import PlanCache
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
 from repro.workloads.models import TABLE_II_MODELS, get_model
 
@@ -28,6 +30,13 @@ BASELINE_GRID = [
     (BaselineScheme.FSDP, "smap", "FSDP+SMap"),
     (BaselineScheme.FSDP, "gmap", "FSDP+GMap"),
 ]
+
+#: System labels of the figure, baselines first, TEMP last.
+SYSTEMS = [label for _, _, label in BASELINE_GRID] + ["TEMP"]
+
+#: Label -> (scheme, engine) lookup for the six baselines.
+_SYSTEM_TABLE = {label: (scheme, engine)
+                 for scheme, engine, label in BASELINE_GRID}
 
 #: Short model list used by fast test runs.
 FAST_MODELS = ["gpt3-6.7b", "llama3-70b"]
@@ -121,10 +130,52 @@ class OverallComparison:
         return ratios
 
 
+def evaluate_system_result(
+    model_name: str,
+    system: str,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+    plan_cache: Optional[PlanCache] = None,
+) -> BaselineResult:
+    """Raw :class:`BaselineResult` of one (model, system) pair.
+
+    ``system`` is one of :data:`SYSTEMS` ("Mega+SMap" ... "TEMP"). Fig. 14
+    reads the power numbers off the same results this figure reads the
+    latency off, so both share this evaluator.
+    """
+    model = get_model(model_name)
+    wafer = wafer or WaferScaleChip()
+    if system == "TEMP":
+        return TEMP(wafer=wafer, config=config,
+                    plan_cache=plan_cache).optimize(model)
+    try:
+        scheme, engine = _SYSTEM_TABLE[system]
+    except KeyError:
+        known = ", ".join(SYSTEMS)
+        raise KeyError(
+            f"unknown system {system!r}; expected one of {known}") from None
+    return evaluate_baseline(scheme, engine, model, wafer=wafer,
+                             config=config, plan_cache=plan_cache)
+
+
+def evaluate_system(
+    model_name: str,
+    system: str,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+    plan_cache: Optional[PlanCache] = None,
+) -> OverallCell:
+    """Evaluate one (model, system) cell of the Fig. 13 grid."""
+    result = evaluate_system_result(model_name, system, wafer=wafer,
+                                    config=config, plan_cache=plan_cache)
+    return _cell_from(model_name, system, result)
+
+
 def run_overall_comparison(
     models: Optional[Sequence[str]] = None,
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> OverallComparison:
     """Run the Fig. 13 grid.
 
@@ -132,6 +183,7 @@ def run_overall_comparison(
         models: model names to evaluate (defaults to all of Table II).
         wafer: wafer configuration (defaults to the 4x8 Table I wafer).
         config: simulator knobs.
+        plan_cache: optional shared ``analyze_model`` memoisation.
 
     Returns:
         The populated :class:`OverallComparison`.
@@ -140,13 +192,10 @@ def run_overall_comparison(
     wafer = wafer or WaferScaleChip()
     comparison = OverallComparison()
     for name in model_names:
-        model = get_model(name)
-        for scheme, engine, label in BASELINE_GRID:
-            result = evaluate_baseline(scheme, engine, model, wafer=wafer,
-                                       config=config)
-            comparison.cells.append(_cell_from(name, label, result))
-        temp_result = TEMP(wafer=wafer, config=config).optimize(model)
-        comparison.cells.append(_cell_from(name, "TEMP", temp_result))
+        for system in SYSTEMS:
+            comparison.cells.append(evaluate_system(
+                name, system, wafer=wafer, config=config,
+                plan_cache=plan_cache))
     return comparison
 
 
@@ -179,3 +228,33 @@ def format_table(comparison: OverallComparison) -> str:
     lines.append("TEMP average speedups: " + ", ".join(
         f"{system}: {value:.2f}x" for system, value in speedups.items()))
     return "\n".join(lines)
+
+
+@register(
+    figure="fig13",
+    paper="Fig. 13",
+    title="Overall training-performance comparison (7 systems x Table II)",
+    default_grid={"model": list(TABLE_II_MODELS), "system": list(SYSTEMS)},
+    reduced_grid={"model": list(FAST_MODELS), "system": list(SYSTEMS)},
+    schema=("model", "system", "spec", "oom", "step_time", "compute_time",
+            "comm_time", "memory_gb", "throughput", "power_efficiency"),
+    entrypoints=("run_overall_comparison",),
+    description="Three partitioning schemes x two mapping engines plus TEMP "
+                "on the Table II models: normalised training latency with "
+                "its compute/communication breakdown, peak per-die memory, "
+                "and OOM flags.",
+)
+def overall_cell(ctx, model, system):
+    """One (model, system) cell of Fig. 13."""
+    cell = evaluate_system(model, system, wafer=ctx.wafer,
+                           plan_cache=ctx.plan_cache)
+    return [{
+        "spec": cell.spec,
+        "oom": cell.oom,
+        "step_time": cell.step_time,
+        "compute_time": cell.compute_time,
+        "comm_time": cell.comm_time,
+        "memory_gb": cell.memory_gb,
+        "throughput": cell.throughput,
+        "power_efficiency": cell.power_efficiency,
+    }]

@@ -10,12 +10,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.framework import TEMP, evaluate_baseline
 from repro.core.metrics import geometric_mean
-from repro.experiments.fig13_overall import BASELINE_GRID
+from repro.costmodel.tables import PlanCache
+from repro.experiments.fig13_overall import (
+    FAST_MODELS,
+    SYSTEMS,
+    evaluate_system_result,
+)
 from repro.hardware.wafer import WaferScaleChip
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
-from repro.workloads.models import TABLE_II_MODELS, get_model
+from repro.workloads.models import TABLE_II_MODELS
 
 
 @dataclass
@@ -101,23 +106,34 @@ class PowerComparison:
         return geometric_mean(ratios) if ratios else 0.0
 
 
+def evaluate_power_system(
+    model_name: str,
+    system: str,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+    plan_cache: Optional[PlanCache] = None,
+) -> PowerCell:
+    """Evaluate one (model, system) cell of the Fig. 14 grid."""
+    result = evaluate_system_result(model_name, system, wafer=wafer,
+                                    config=config, plan_cache=plan_cache)
+    return _cell_from(model_name, system, result)
+
+
 def run_power_comparison(
     models: Optional[Sequence[str]] = None,
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> PowerComparison:
     """Run the Fig. 14 grid (power breakdown + efficiency)."""
     model_names = list(models) if models is not None else list(TABLE_II_MODELS)
     wafer = wafer or WaferScaleChip()
     comparison = PowerComparison()
     for name in model_names:
-        model = get_model(name)
-        for scheme, engine, label in BASELINE_GRID:
-            result = evaluate_baseline(scheme, engine, model, wafer=wafer,
-                                       config=config)
-            comparison.cells.append(_cell_from(name, label, result))
-        temp_result = TEMP(wafer=wafer, config=config).optimize(model)
-        comparison.cells.append(_cell_from(name, "TEMP", temp_result))
+        for system in SYSTEMS:
+            comparison.cells.append(evaluate_power_system(
+                name, system, wafer=wafer, config=config,
+                plan_cache=plan_cache))
     return comparison
 
 
@@ -135,3 +151,32 @@ def _cell_from(model: str, system: str, result) -> PowerCell:
         power_efficiency=report.power_efficiency if report else 0.0,
         energy_per_step=(power.total * report.step_time) if power and report else 0.0,
     )
+
+
+@register(
+    figure="fig14",
+    paper="Fig. 14",
+    title="Power breakdown and power efficiency (7 systems x Table II)",
+    default_grid={"model": list(TABLE_II_MODELS), "system": list(SYSTEMS)},
+    reduced_grid={"model": list(FAST_MODELS), "system": list(SYSTEMS)},
+    schema=("model", "system", "oom", "compute_watts", "dram_watts",
+            "comm_watts", "total_watts", "power_efficiency",
+            "energy_per_step"),
+    entrypoints=("run_power_comparison",),
+    description="The Fig. 13 grid re-read for power: the computation / "
+                "memory / communication decomposition and the "
+                "throughput-per-watt of every system.",
+)
+def power_cell(ctx, model, system):
+    """One (model, system) cell of Fig. 14."""
+    cell = evaluate_power_system(model, system, wafer=ctx.wafer,
+                                 plan_cache=ctx.plan_cache)
+    return [{
+        "oom": cell.oom,
+        "compute_watts": cell.compute_watts,
+        "dram_watts": cell.dram_watts,
+        "comm_watts": cell.comm_watts,
+        "total_watts": cell.total_watts,
+        "power_efficiency": cell.power_efficiency,
+        "energy_per_step": cell.energy_per_step,
+    }]

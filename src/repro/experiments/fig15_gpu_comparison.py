@@ -9,18 +9,21 @@ mesh), while Wafer+TEMP overtakes both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.core.framework import TEMP, evaluate_baseline
 from repro.hardware.gpu_cluster import GPUCluster
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme, candidate_specs
 from repro.parallelism.strategies import analyze_model
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
 from repro.simulation.gpu import GPUClusterSimulator
-from repro.solver.search_space import prune_specs
 from repro.workloads.models import TABLE_II_MODELS, get_model
+
+#: System labels of the figure.
+FIG15_SYSTEMS = ["GPU+MeSP", "Wafer+MeSP", "Wafer+TEMP"]
 
 
 @dataclass
@@ -108,3 +111,44 @@ def _best_gpu_mesp(
             best_time = report.step_time
             best_throughput = report.throughput
     return best_time, best_throughput
+
+
+@register(
+    figure="fig15",
+    paper="Fig. 15",
+    title="Wafer-scale chip vs GPU cluster of matching aggregate peak",
+    default_grid={"model": list(TABLE_II_MODELS),
+                  "system": list(FIG15_SYSTEMS)},
+    reduced_grid={"model": ["gpt3-6.7b"], "system": list(FIG15_SYSTEMS)},
+    schema=("model", "system", "step_time", "throughput", "oom"),
+    entrypoints=("run_gpu_comparison",),
+    description="A 32-die wafer against a 4-node x 8-A100 cluster: the "
+                "cluster runs Megatron-3 (MeSP), the wafer runs MeSP "
+                "(GMap-mapped) and TEMP.",
+)
+def gpu_comparison_cell(ctx, model, system):
+    """One (model, system) cell of Fig. 15."""
+    model_config = get_model(model)
+    config = ctx.config
+    if system == "GPU+MeSP":
+        cluster = GPUCluster()
+        time_value, throughput = _best_gpu_mesp(
+            model_config, cluster, GPUClusterSimulator(cluster, config))
+        oom = time_value == float("inf")
+        return [{"step_time": None if oom else time_value,
+                 "throughput": throughput, "oom": oom}]
+    if system == "Wafer+MeSP":
+        result = evaluate_baseline(
+            BaselineScheme.MESP, "gmap", model_config, wafer=ctx.wafer,
+            config=config, plan_cache=ctx.plan_cache)
+    elif system == "Wafer+TEMP":
+        result = TEMP(wafer=ctx.wafer, config=config,
+                      plan_cache=ctx.plan_cache).optimize(model_config)
+    else:
+        raise ValueError(f"unknown Fig. 15 system {system!r}")
+    report = result.report
+    return [{
+        "step_time": report.step_time if report else None,
+        "throughput": report.throughput if report else 0.0,
+        "oom": result.oom,
+    }]

@@ -19,8 +19,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.framework import TEMP, evaluate_baseline
 from repro.core.metrics import geometric_mean
+from repro.costmodel.tables import PlanCache
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
 from repro.workloads.models import TABLE_II_MODELS, get_model
 
@@ -60,37 +62,76 @@ class AblationStudy:
         return geometric_mean(gains) if gains else 0.0
 
 
+def evaluate_ablation_step(
+    model_name: str,
+    step: str,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+    plan_cache: Optional[PlanCache] = None,
+):
+    """Evaluate one ablation step; returns the raw ``BaselineResult``.
+
+    ``step`` is one of :data:`ABLATION_STEPS`.
+    """
+    model = get_model(model_name)
+    wafer = wafer or WaferScaleChip()
+    if step == "base":
+        return evaluate_baseline(
+            BaselineScheme.FSDP, "smap", model, wafer=wafer, config=config,
+            plan_cache=plan_cache)
+    if step == "base+tatp":
+        return TEMP(wafer=wafer, config=config, enable_tatp=True,
+                    enable_tcme=False, plan_cache=plan_cache).optimize(model)
+    if step == "base+tatp+tcme":
+        return TEMP(wafer=wafer, config=config, enable_tatp=True,
+                    enable_tcme=True, plan_cache=plan_cache).optimize(model)
+    known = ", ".join(ABLATION_STEPS)
+    raise ValueError(f"unknown ablation step {step!r}; expected one of {known}")
+
+
 def run_ablation(
     models: Optional[Sequence[str]] = None,
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> AblationStudy:
     """Run the Fig. 16 ablation."""
     model_names = list(models) if models is not None else list(TABLE_II_MODELS)
     wafer = wafer or WaferScaleChip()
     study = AblationStudy()
     for name in model_names:
-        model = get_model(name)
         row = AblationRow(model=name)
-
-        base = evaluate_baseline(
-            BaselineScheme.FSDP, "smap", model, wafer=wafer, config=config)
-        row.throughput["base"] = base.report.throughput if base.report else 0.0
-        row.specs["base"] = base.best_spec.label() if base.best_spec else "-"
-
-        with_tatp = TEMP(wafer=wafer, config=config,
-                         enable_tatp=True, enable_tcme=False).optimize(model)
-        row.throughput["base+tatp"] = (
-            with_tatp.report.throughput if with_tatp.report else 0.0)
-        row.specs["base+tatp"] = (
-            with_tatp.best_spec.label() if with_tatp.best_spec else "-")
-
-        full = TEMP(wafer=wafer, config=config,
-                    enable_tatp=True, enable_tcme=True).optimize(model)
-        row.throughput["base+tatp+tcme"] = (
-            full.report.throughput if full.report else 0.0)
-        row.specs["base+tatp+tcme"] = (
-            full.best_spec.label() if full.best_spec else "-")
-
+        for step in ABLATION_STEPS:
+            result = evaluate_ablation_step(name, step, wafer=wafer,
+                                            config=config,
+                                            plan_cache=plan_cache)
+            row.throughput[step] = (
+                result.report.throughput if result.report else 0.0)
+            row.specs[step] = (
+                result.best_spec.label() if result.best_spec else "-")
         study.rows.append(row)
     return study
+
+
+@register(
+    figure="fig16",
+    paper="Fig. 16",
+    title="Ablation: base FSDP -> +TATP -> +TATP+TCME",
+    default_grid={"model": list(TABLE_II_MODELS),
+                  "step": list(ABLATION_STEPS)},
+    reduced_grid={"model": ["llama3-70b"], "step": list(ABLATION_STEPS)},
+    schema=("model", "step", "throughput", "spec", "oom"),
+    entrypoints=("run_ablation",),
+    description="TEMP's two optimisations are enabled incrementally on top "
+                "of the FSDP+SMap baseline; the figure normalises each "
+                "model's throughput to the base step.",
+)
+def ablation_cell(ctx, model, step):
+    """One (model, ablation step) cell of Fig. 16."""
+    result = evaluate_ablation_step(model, step, wafer=ctx.wafer,
+                                    plan_cache=ctx.plan_cache)
+    return [{
+        "throughput": result.report.throughput if result.report else 0.0,
+        "spec": result.best_spec.label() if result.best_spec else "-",
+        "oom": result.oom,
+    }]

@@ -16,9 +16,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.spec import ParallelSpec
 from repro.parallelism.strategies import analyze_model
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
 from repro.simulation.simulator import WaferSimulator
 from repro.workloads.models import get_model
+
+#: Sequence lengths of Fig. 17 (short 2k / long 16k training).
+FIG17_SEQ_LENGTHS = [2048, 16384]
 
 
 @dataclass
@@ -150,3 +154,33 @@ def run_convergence_study(
             results[(name, seq)] = run_config_sweep(
                 model_name=name, seq_length=seq, wafer=wafer, config=config)
     return results
+
+
+@register(
+    figure="fig17",
+    paper="Fig. 17",
+    title="Throughput of every (DP, TP, SP, TATP) configuration",
+    default_grid={"model": ["llama2-7b"], "seq_length": list(FIG17_SEQ_LENGTHS)},
+    reduced_grid={"model": ["llama2-7b"], "seq_length": [2048]},
+    schema=("model", "seq_length", "config", "dp", "tp", "sp", "tatp",
+            "throughput", "step_time", "memory_gb", "oom"),
+    entrypoints=("run_config_sweep", "enumerate_configs"),
+    description="Llama2 7B on a 32-die wafer under TCME: every "
+                "(DP, TP, SP, TATP) combination filling the wafer, for "
+                "short (2k, batch 128) and long (16k, batch 32) sequences.",
+)
+def config_sweep_cell(ctx, model, seq_length):
+    """One (model, sequence length) sweep of Fig. 17 (one row per config)."""
+    sweep = run_config_sweep(model_name=model, seq_length=seq_length,
+                             wafer=ctx.wafer, config=ctx.config)
+    return [{
+        "config": item.label,
+        "dp": item.dp,
+        "tp": item.tp,
+        "sp": item.sp,
+        "tatp": item.tatp,
+        "throughput": item.throughput,
+        "step_time": item.step_time,
+        "memory_gb": item.memory_gb,
+        "oom": item.oom,
+    } for item in sweep.configs]

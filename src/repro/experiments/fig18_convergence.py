@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.fig17_parallel_configs import ConfigSweep, run_config_sweep
 from repro.hardware.wafer import WaferScaleChip
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
 
 #: Models and sequence lengths of Fig. 18.
@@ -41,3 +42,38 @@ def optimal_tatp_degrees(
     return {
         key: sweep.best().tatp for key, sweep in results.items()
     }
+
+
+@register(
+    figure="fig18",
+    paper="Fig. 18",
+    title="Convergence of the optimal TATP degree across GPT-3 models",
+    default_grid={"model": list(CONVERGENCE_MODELS),
+                  "seq_length": list(CONVERGENCE_SEQ_LENGTHS)},
+    reduced_grid={"model": ["gpt3-6.7b"], "seq_length": [2048]},
+    schema=("model", "seq_length", "best_config", "best_tatp",
+            "best_throughput", "gain_over_best_non_tatp", "num_configs",
+            "num_feasible"),
+    entrypoints=("run_convergence", "optimal_tatp_degrees"),
+    description="The Fig. 17 sweep applied to the GPT-3 models: one summary "
+                "row per (model, sequence length) reporting the winning "
+                "configuration and its TATP degree.",
+)
+def convergence_cell(ctx, model, seq_length):
+    """One (model, sequence length) summary row of Fig. 18."""
+    sweep = run_config_sweep(model_name=model, seq_length=seq_length,
+                             wafer=ctx.wafer, config=ctx.config)
+    best = sweep.best()
+    feasible = [item for item in sweep.configs if not item.oom]
+    try:
+        gain = best.throughput / sweep.best_without_tatp().throughput
+    except (ValueError, ZeroDivisionError):
+        gain = None
+    return [{
+        "best_config": best.label,
+        "best_tatp": best.tatp,
+        "best_throughput": best.throughput,
+        "gain_over_best_non_tatp": gain,
+        "num_configs": len(sweep.configs),
+        "num_feasible": len(feasible),
+    }]

@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.multiwafer import MultiWaferResult, evaluate_multiwafer
+from repro.core.multiwafer import evaluate_multiwafer
+from repro.costmodel.tables import PlanCache
 from repro.parallelism.baselines import BaselineScheme
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
 from repro.workloads.models import MULTI_WAFER_MODELS, get_model
 
@@ -89,6 +91,7 @@ def run_multiwafer_study(
     systems: Optional[Sequence[Tuple[BaselineScheme, str, str]]] = None,
     config: Optional[SimulatorConfig] = None,
     num_microbatches: int = 16,
+    plan_cache: Optional[PlanCache] = None,
 ) -> MultiWaferStudy:
     """Run the Fig. 19 study.
 
@@ -98,27 +101,85 @@ def run_multiwafer_study(
         systems: (scheme, engine, label) triples to evaluate.
         config: simulator knobs.
         num_microbatches: pipeline microbatches per step.
+        plan_cache: optional shared ``analyze_model`` memoisation.
     """
     model_map = dict(models) if models is not None else dict(MULTI_WAFER_MODELS)
     grid = list(systems) if systems is not None else list(MULTI_WAFER_GRID)
     study = MultiWaferStudy()
     for name, num_wafers in model_map.items():
-        model = get_model(name)
         for scheme, engine, label in grid:
-            result = evaluate_multiwafer(
-                scheme, engine, model, num_wafers,
-                config=config, num_microbatches=num_microbatches)
-            study.cells.append(MultiWaferCell(
-                model=name,
-                system=label,
-                num_wafers=num_wafers,
-                spec=result.best_spec.label() if result.best_spec else "-",
-                pp_degree=result.best_spec.pp if result.best_spec else 0,
-                step_time=result.step_time,
-                compute_time=result.compute_time,
-                comm_time=result.comm_time,
-                bubble_time=result.bubble_time,
-                throughput=result.throughput,
-                oom=result.oom,
-            ))
+            study.cells.append(evaluate_multiwafer_cell(
+                name, scheme, engine, label, num_wafers, config=config,
+                num_microbatches=num_microbatches, plan_cache=plan_cache))
     return study
+
+
+def evaluate_multiwafer_cell(
+    model_name: str,
+    scheme: BaselineScheme,
+    engine: str,
+    label: str,
+    num_wafers: int,
+    config: Optional[SimulatorConfig] = None,
+    num_microbatches: int = 16,
+    plan_cache: Optional[PlanCache] = None,
+) -> MultiWaferCell:
+    """Evaluate one (model, system) cell of Fig. 19."""
+    model = get_model(model_name)
+    result = evaluate_multiwafer(
+        scheme, engine, model, num_wafers,
+        config=config, num_microbatches=num_microbatches,
+        plan_cache=plan_cache)
+    return MultiWaferCell(
+        model=model_name,
+        system=label,
+        num_wafers=num_wafers,
+        spec=result.best_spec.label() if result.best_spec else "-",
+        pp_degree=result.best_spec.pp if result.best_spec else 0,
+        step_time=result.step_time,
+        compute_time=result.compute_time,
+        comm_time=result.comm_time,
+        bubble_time=result.bubble_time,
+        throughput=result.throughput,
+        oom=result.oom,
+    )
+
+
+#: Label -> (scheme, engine) lookup of the Fig. 19 systems.
+_SYSTEM_TABLE = {label: (scheme, engine)
+                 for scheme, engine, label in MULTI_WAFER_GRID}
+
+
+@register(
+    figure="fig19",
+    paper="Fig. 19",
+    title="Multi-wafer scalability (pipeline parallelism across wafers)",
+    default_grid={"model": list(MULTI_WAFER_MODELS),
+                  "system": [label for _, _, label in MULTI_WAFER_GRID]},
+    reduced_grid={"model": ["gpt3-175b"],
+                  "system": [label for _, _, label in MULTI_WAFER_GRID]},
+    schema=("model", "system", "num_wafers", "spec", "pp_degree",
+            "step_time", "compute_time", "comm_time", "bubble_time",
+            "throughput", "oom"),
+    entrypoints=("run_multiwafer_study",),
+    description="Larger-than-one-wafer models are pipelined across 2-6 "
+                "wafers; TEMP keeps the pipeline degree (and the bubble) "
+                "low because TATP covers more parallelism inside a wafer.",
+)
+def multiwafer_cell(ctx, model, system):
+    """One (model, system) cell of Fig. 19."""
+    scheme, engine = _SYSTEM_TABLE[system]
+    cell = evaluate_multiwafer_cell(
+        model, scheme, engine, system, MULTI_WAFER_MODELS[model],
+        plan_cache=ctx.plan_cache)
+    return [{
+        "num_wafers": cell.num_wafers,
+        "spec": cell.spec,
+        "pp_degree": cell.pp_degree,
+        "step_time": cell.step_time,
+        "compute_time": cell.compute_time,
+        "comm_time": cell.comm_time,
+        "bubble_time": cell.bubble_time,
+        "throughput": cell.throughput,
+        "oom": cell.oom,
+    }]

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.costmodel.dataset import generate_dataset
 from repro.costmodel.dnn import MLPCostModel
 from repro.costmodel.evaluation import ModelAccuracy, evaluate_model
 from repro.costmodel.regression import LinearCostModel
+from repro.runner.registry import register
 
 
 @dataclass
@@ -76,3 +77,42 @@ def run_cost_model_validation(
         training_samples=len(train),
         test_samples=len(test),
     )
+
+
+@register(
+    figure="fig21",
+    paper="Fig. 21",
+    title="Accuracy of the DNN cost model vs linear regression",
+    default_grid=[{"train_samples": 400, "test_samples": 500, "epochs": 200,
+                   "seed": 0}],
+    reduced_grid=[{"train_samples": 60, "test_samples": 80, "epochs": 40,
+                   "seed": 0}],
+    schema=("train_samples", "test_samples", "epochs", "seed", "category",
+            "predictor", "correlation", "relative_error"),
+    entrypoints=("run_cost_model_validation",),
+    description="Both cost models are trained and evaluated on held-out "
+                "samples per category (computation / communication / "
+                "overlap); one row per (category, predictor). The query "
+                "latency is measured wall-clock and therefore kept out of "
+                "the rows to preserve determinism.",
+)
+def cost_model_cell(ctx, train_samples, test_samples, epochs, seed):
+    """The single training/evaluation cell of Fig. 21."""
+    study = run_cost_model_validation(
+        train_samples_per_category=train_samples,
+        test_samples_per_category=test_samples,
+        epochs=epochs,
+        seed=seed,
+    )
+    rows = []
+    for predictor, accuracies in (("dnn", study.dnn_accuracy),
+                                  ("regression", study.regression_accuracy)):
+        for category in sorted(accuracies):
+            accuracy = accuracies[category]
+            rows.append({
+                "category": category,
+                "predictor": predictor,
+                "correlation": accuracy.correlation,
+                "relative_error": accuracy.relative_error,
+            })
+    return rows

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from repro.costmodel.tables import CostTables
 from repro.hardware.config import default_wafer_config
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme
+from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
 from repro.solver.dp import optimize_segments
 from repro.solver.exhaustive import ExhaustiveSolver
@@ -124,3 +125,46 @@ def run_search_time_comparison(
         exhaustive_total_space=ExhaustiveSolver.total_combinations(
             graph.num_nodes, len(candidates)),
     )
+
+
+@register(
+    figure="search_time",
+    paper="§VIII-H",
+    title="Search time: dual-level search vs exhaustive enumeration",
+    default_grid=[{"model": "gpt3-76b", "max_candidates": 12,
+                   "exhaustive_cap": 20000, "ga_generations": 10}],
+    reduced_grid=[{"model": "gpt3-6.7b", "max_candidates": 6,
+                   "exhaustive_cap": 2000, "ga_generations": 4}],
+    schema=("model", "max_candidates", "exhaustive_cap", "ga_generations",
+            "num_candidates", "num_operators", "dls_seconds", "dls_cost",
+            "dls_evaluations", "exhaustive_seconds", "exhaustive_cost",
+            "exhaustive_evaluations", "exhaustive_truncated",
+            "exhaustive_total_space", "projected_speedup"),
+    entrypoints=("run_search_time_comparison",),
+    description="Wall-clock time and cost-model evaluation counts of the "
+                "DP+GA dual-level search against a capped exhaustive joint "
+                "enumeration (the ILP stand-in). Timing columns are "
+                "wall-clock measurements and vary between runs.",
+)
+def search_time_cell(ctx, model, max_candidates, exhaustive_cap,
+                     ga_generations):
+    """The single timed comparison cell of §VIII-H."""
+    result = run_search_time_comparison(
+        model_name=model,
+        max_candidates=max_candidates,
+        exhaustive_cap=exhaustive_cap,
+        ga_generations=ga_generations,
+    )
+    return [{
+        "num_candidates": result.num_candidates,
+        "num_operators": result.num_operators,
+        "dls_seconds": result.dls_seconds,
+        "dls_cost": result.dls_cost,
+        "dls_evaluations": result.dls_evaluations,
+        "exhaustive_seconds": result.exhaustive_seconds,
+        "exhaustive_cost": result.exhaustive_cost,
+        "exhaustive_evaluations": result.exhaustive_evaluations,
+        "exhaustive_truncated": result.exhaustive_truncated,
+        "exhaustive_total_space": result.exhaustive_total_space,
+        "projected_speedup": result.projected_speedup,
+    }]

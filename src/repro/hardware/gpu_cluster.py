@@ -13,7 +13,6 @@ Megatron-style strategy on either substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.hardware.config import GPUClusterConfig

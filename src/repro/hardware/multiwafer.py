@@ -10,7 +10,7 @@ the strategies explored by the solver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.hardware.config import WaferConfig, default_wafer_config
 from repro.hardware.wafer import WaferScaleChip

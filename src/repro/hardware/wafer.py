@@ -10,7 +10,7 @@ dies, and by derating the compute of partially-faulty dies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.hardware.config import WaferConfig, default_wafer_config
 from repro.hardware.faults import FaultModel

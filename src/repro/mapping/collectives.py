@@ -16,7 +16,7 @@ concrete die groups:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.hardware.topology import MeshTopology
 from repro.mapping.routing import Flow, route_flow

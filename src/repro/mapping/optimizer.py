@@ -16,7 +16,7 @@ is reached — the five phases of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hardware.topology import Link, MeshTopology

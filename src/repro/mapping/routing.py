@@ -8,8 +8,8 @@ the traffic-conscious optimizer may later reroute them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List
 
 from repro.hardware.topology import Link, MeshTopology
 

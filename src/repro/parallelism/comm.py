@@ -8,9 +8,9 @@ simulator turns the paths plus volumes into time and energy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 
 class CollectiveType(Enum):

@@ -15,8 +15,8 @@ collectives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.parallelism.spec import ParallelSpec
 from repro.parallelism.tatp import bidirectional_schedule

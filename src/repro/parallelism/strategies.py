@@ -41,7 +41,7 @@ from repro.parallelism.comm import (
     collective_wire_bytes,
 )
 from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.tatp import StreamChoice, TATPCharacteristics, select_stream_tensor
+from repro.parallelism.tatp import StreamChoice, select_stream_tensor
 from repro.workloads.models import ModelConfig
 from repro.workloads.training import MemoryFootprint, TrainingStep
 

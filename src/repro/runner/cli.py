@@ -1,0 +1,166 @@
+"""The ``python -m repro`` command line (also the ``repro`` console script).
+
+Sub-commands::
+
+    repro list                         # registered figures and grid sizes
+    repro run fig19 --reduced          # one figure, reduced grid
+    repro run all --reduced --jobs 2   # full evaluation grid, 2 workers
+    repro check                        # every figure has a valid manifest
+    repro docs [--check]               # (re)generate / verify EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.runner import docs as docs_module
+from repro.runner import manifest as manifest_module
+from repro.runner import orchestrator, registry
+
+#: Default artifact directory.
+DEFAULT_OUTPUT_DIR = "results"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Registry-driven runner for the paper's figure "
+                    "reproductions.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered figures")
+
+    run = sub.add_parser("run", help="run one figure (or 'all')")
+    run.add_argument("figure", help="registered figure id, or 'all'")
+    run.add_argument("--reduced", action="store_true",
+                     help="use the fast reduced grids (CI fidelity)")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes (default: 1, serial)")
+    run.add_argument("--output-dir", default=DEFAULT_OUTPUT_DIR,
+                     help="manifest directory (default: %(default)s)")
+    run.add_argument("--no-write", action="store_true",
+                     help="run without writing manifests")
+
+    check = sub.add_parser(
+        "check", help="validate that every registered figure has a manifest")
+    check.add_argument("--output-dir", default=DEFAULT_OUTPUT_DIR,
+                       help="manifest directory (default: %(default)s)")
+
+    docs = sub.add_parser(
+        "docs", help="regenerate EXPERIMENTS.md from the registry")
+    docs.add_argument("--check", action="store_true",
+                      help="verify EXPERIMENTS.md is up to date instead of "
+                           "writing it")
+    docs.add_argument("--output", default=docs_module.DEFAULT_PATH,
+                      help="output path (default: %(default)s)")
+    return parser
+
+
+def _cmd_list() -> int:
+    experiments = registry.all_experiments()
+    width = max(len(exp.figure) for exp in experiments)
+    print(f"{'figure':<{width}}  {'paper':<12} {'cells':>7} {'reduced':>8}  "
+          f"title")
+    for exp in experiments:
+        print(f"{exp.figure:<{width}}  {exp.paper:<12} "
+              f"{len(exp.cells(False)):>7} {len(exp.cells(True)):>8}  "
+              f"{exp.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    figures = (registry.figure_ids() if args.figure == "all"
+               else [args.figure])
+    try:
+        experiments = {figure: registry.get_experiment(figure)
+                       for figure in figures}
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    output_dir = None if args.no_write else args.output_dir
+    failures: List[str] = []
+    # One pool (or serial context) for the whole run: worker plan caches
+    # stay warm across figures sharing evaluations (e.g. Figs. 13/14).
+    with orchestrator.sweep_resources(args.jobs, args.reduced) as (pool, ctx):
+        for figure, experiment in experiments.items():
+            print(f"{figure} ({experiment.paper}): {experiment.title}")
+            manifest = orchestrator.run_experiment(
+                figure, reduced=args.reduced, jobs=args.jobs,
+                output_dir=output_dir, progress=print, pool=pool,
+                context=ctx)
+            problems = manifest_module.validate_manifest(manifest, experiment)
+            total = manifest["timings"]["total_seconds"]
+            oom = sum(cell["oom_rows"] for cell in manifest["cells"])
+            print(f"  -> {len(manifest['rows'])} rows, {oom} OOM, "
+                  f"{total:.2f}s total")
+            if problems:
+                failures.append(figure)
+                for problem in problems:
+                    print(f"  !! {problem}", file=sys.stderr)
+    if failures:
+        print(f"FAILED figures: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    status = 0
+    for experiment in registry.all_experiments():
+        path = manifest_module.manifest_path(args.output_dir,
+                                             experiment.figure)
+        if not os.path.exists(path):
+            print(f"{experiment.figure}: MISSING manifest ({path})",
+                  file=sys.stderr)
+            status = 1
+            continue
+        try:
+            manifest = manifest_module.read_manifest(path)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"{experiment.figure}: unreadable manifest: {error}",
+                  file=sys.stderr)
+            status = 1
+            continue
+        problems = manifest_module.validate_manifest(manifest, experiment)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{experiment.figure}: {problem}", file=sys.stderr)
+        else:
+            print(f"{experiment.figure}: ok ({len(manifest['rows'])} rows)")
+    return status
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    if args.check:
+        if docs_module.check_experiments_md(args.output):
+            print(f"{args.output} is up to date")
+            return 0
+        print(f"{args.output} is stale; regenerate with "
+              f"`python -m repro docs`", file=sys.stderr)
+        return 1
+    path = docs_module.write_experiments_md(args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "docs":
+        return _cmd_docs(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Per-worker execution context shared by every cell a worker runs.
+
+The orchestrator creates one :class:`RunContext` per worker (one total in
+serial mode) and passes it to every cell runner. The context owns the shared
+:class:`~repro.costmodel.tables.PlanCache` — the contract pinned by the
+serial-vs-parallel parity test is that the cache is a pure memoisation layer:
+a cell must produce bit-identical rows whether its plans come from a cold or
+a warm cache, so sharding cells across workers (each with its own cache)
+cannot change any result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.costmodel.tables import PlanCache
+from repro.hardware.wafer import WaferScaleChip
+from repro.simulation.config import SimulatorConfig
+
+
+class RunContext:
+    """Shared state handed to every cell runner of a worker.
+
+    Attributes:
+        plan_cache: memoised ``analyze_model`` shared across the worker's
+            cells (injected into ``evaluate_baseline`` / ``evaluate_multiwafer``).
+        reduced: whether the run uses the reduced grids (informational).
+    """
+
+    def __init__(
+        self,
+        plan_cache: Optional[PlanCache] = None,
+        reduced: bool = False,
+    ) -> None:
+        # PlanCache has __len__: `or` would discard an empty shared cache.
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.reduced = reduced
+        self._wafer: Optional[WaferScaleChip] = None
+        self._config: Optional[SimulatorConfig] = None
+
+    @property
+    def wafer(self) -> WaferScaleChip:
+        """The default Table I wafer, built once per worker."""
+        if self._wafer is None:
+            self._wafer = WaferScaleChip()
+        return self._wafer
+
+    @property
+    def config(self) -> SimulatorConfig:
+        """Default simulator knobs, built once per worker."""
+        if self._config is None:
+            self._config = SimulatorConfig()
+        return self._config

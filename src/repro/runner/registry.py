@@ -1,0 +1,160 @@
+"""The experiment registry: one entry per figure/table of the evaluation.
+
+Every module under :mod:`repro.experiments` registers its figure with
+:func:`register` at import time: a cell runner (the unit of parallel work),
+the default and reduced parameter grids, and the schema of the manifest rows
+it emits. The orchestrator, the CLI, the generated ``EXPERIMENTS.md``, and
+``repro.experiments.__all__`` are all derived from this table, so adding a
+figure is one decorator — no hand-maintained lists.
+
+A *grid* is either
+
+* a dict mapping axis name to a list of values — expanded as the cartesian
+  product (``{"model": [...], "system": [...]}`` → one cell per pair), or
+* an explicit list of cell-parameter dicts, for figures whose cells are not
+  a full product (e.g. Fig. 4's two sub-studies over different model sets).
+
+A *cell runner* has the signature ``cell(ctx, **params) -> list[dict]``:
+``ctx`` is a :class:`repro.runner.context.RunContext` (shared plan cache),
+``params`` is one point of the grid, and the returned dicts are merged with
+``params`` into manifest rows. The merged keys must equal the registered
+``schema`` for every row.
+"""
+
+from __future__ import annotations
+
+import importlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+Grid = Union[Dict[str, Sequence], List[Dict[str, object]]]
+
+#: Module whose import populates the registry (imports all figure modules).
+_EXPERIMENTS_PACKAGE = "repro.experiments"
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Registered metadata and runner of one figure."""
+
+    figure: str
+    paper: str
+    title: str
+    module: str
+    cell: Callable
+    default_grid: Grid
+    reduced_grid: Grid
+    schema: Tuple[str, ...]
+    entrypoints: Tuple[str, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def grid(self, reduced: bool = False) -> Grid:
+        """The parameter grid for the requested fidelity."""
+        return self.reduced_grid if reduced else self.default_grid
+
+    def cells(self, reduced: bool = False) -> List[Dict[str, object]]:
+        """The expanded cell-parameter list for the requested fidelity."""
+        return expand_grid(self.grid(reduced))
+
+    def axes(self) -> List[str]:
+        """Axis names of the grid (param keys for explicit cell lists)."""
+        grid = self.default_grid
+        if isinstance(grid, dict):
+            return list(grid)
+        keys: List[str] = []
+        for cell in grid:
+            for key in cell:
+                if key not in keys:
+                    keys.append(key)
+        return keys
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(
+    *,
+    figure: str,
+    paper: str,
+    title: str,
+    default_grid: Grid,
+    reduced_grid: Grid,
+    schema: Sequence[str],
+    entrypoints: Sequence[str] = (),
+    description: str = "",
+) -> Callable[[Callable], Callable]:
+    """Class the decorated cell runner under ``figure`` in the registry.
+
+    Args:
+        figure: registry key, e.g. ``"fig13"`` or ``"search_time"``.
+        paper: the paper's label, e.g. ``"Fig. 13"`` or ``"§VIII-H"``.
+        title: one-line description of what the figure measures.
+        default_grid: the paper-fidelity grid.
+        reduced_grid: the fast grid used by CI and the test suite.
+        schema: keys of every manifest row (cell params merged with the
+            runner's row dicts).
+        entrypoints: public ``run_*`` functions of the module, re-exported
+            from ``repro.experiments``.
+        description: longer prose for the generated docs.
+    """
+
+    def decorator(func: Callable) -> Callable:
+        if figure in _REGISTRY:
+            raise ValueError(f"figure {figure!r} registered twice")
+        _REGISTRY[figure] = Experiment(
+            figure=figure,
+            paper=paper,
+            title=title,
+            module=func.__module__,
+            cell=func,
+            default_grid=default_grid,
+            reduced_grid=reduced_grid,
+            schema=tuple(schema),
+            entrypoints=tuple(entrypoints),
+            description=description,
+        )
+        return func
+
+    return decorator
+
+
+def ensure_loaded() -> None:
+    """Import the experiments package so every figure registers itself."""
+    importlib.import_module(_EXPERIMENTS_PACKAGE)
+
+
+def get_experiment(figure: str) -> Experiment:
+    """Look up one registered figure.
+
+    Raises:
+        KeyError: when the figure id is unknown; the message lists the
+            registered ids.
+    """
+    ensure_loaded()
+    try:
+        return _REGISTRY[figure]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown figure {figure!r}; registered: {known}") from None
+
+
+def all_experiments() -> List[Experiment]:
+    """Every registered figure, in id order."""
+    ensure_loaded()
+    return [_REGISTRY[figure] for figure in sorted(_REGISTRY)]
+
+
+def figure_ids() -> List[str]:
+    """Sorted registered figure ids."""
+    ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def expand_grid(grid: Grid) -> List[Dict[str, object]]:
+    """Expand a grid into the ordered list of cell-parameter dicts."""
+    if isinstance(grid, dict):
+        axes = list(grid)
+        combos = itertools.product(*(grid[axis] for axis in axes))
+        return [dict(zip(axes, combo)) for combo in combos]
+    return [dict(cell) for cell in grid]

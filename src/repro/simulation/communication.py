@@ -15,7 +15,6 @@ highlights:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.hardware.config import LinkConfig
 from repro.parallelism.comm import CollectiveType, CommTask

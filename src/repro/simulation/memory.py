@@ -11,7 +11,6 @@ Memory has two jobs in the evaluation:
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro.hardware.config import ComputeDieConfig
 from repro.parallelism.strategies import ExecutionPlan

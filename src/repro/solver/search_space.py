@@ -14,7 +14,7 @@ manageable with structural pruning:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from repro.costmodel.tables import PlanCache

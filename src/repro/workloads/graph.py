@@ -9,8 +9,8 @@ partitioner (§VII-B) can cut the graph at residual-free boundaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.workloads.operators import DType, Operator
 

@@ -20,7 +20,6 @@ from typing import Dict, Optional
 
 from repro.workloads.graph import ComputeGraph
 from repro.workloads.models import ModelConfig
-from repro.workloads.operators import DType
 
 #: Bytes of optimizer state per parameter: the two FP32 Adam moments. The
 #: FP32 master copy of the weights is materialised transiently shard-by-shard

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.costmodel.analytical import (
     graph_cost,
@@ -10,7 +9,7 @@ from repro.costmodel.analytical import (
     intra_operator_cost,
     resharding_bytes,
 )
-from repro.costmodel.dataset import CostSample, generate_dataset
+from repro.costmodel.dataset import generate_dataset
 from repro.costmodel.dnn import MLPCostModel
 from repro.costmodel.evaluation import correlation, evaluate_model, mean_relative_error
 from repro.costmodel.features import FEATURE_NAMES, feature_matrix, sample_features

@@ -11,9 +11,16 @@ from repro.experiments.fig09_sweet_spot import (
 )
 from repro.experiments.fig13_overall import format_table, run_overall_comparison
 from repro.experiments.fig14_power import run_power_comparison
+from repro.experiments.fig15_gpu_comparison import run_gpu_comparison
 from repro.experiments.fig16_ablation import run_ablation
 from repro.experiments.fig17_parallel_configs import run_config_sweep
+from repro.experiments.fig18_convergence import (
+    optimal_tatp_degrees,
+    run_convergence,
+)
+from repro.experiments.fig19_multiwafer import run_multiwafer_study
 from repro.experiments.fig20_fault_tolerance import run_fault_tolerance
+from repro.experiments.fig21_cost_model import run_cost_model_validation
 from repro.experiments.search_time import run_search_time_comparison
 
 
@@ -142,3 +149,67 @@ class TestSearchTime:
         assert result.dls_seconds > 0
         assert result.exhaustive_total_space > result.dls_evaluations
         assert result.projected_speedup > 10
+
+
+class TestGPUComparisonRunner:
+    def test_wafer_temp_beats_both(self):
+        rows = run_gpu_comparison(models=["gpt3-6.7b"])
+        assert len(rows) == 1
+        row = rows[0]
+        # Paper: Wafer+TEMP achieves the lowest latency of the three systems.
+        assert row.wafer_temp_time <= row.gpu_mesp_time * 1.001
+        assert row.wafer_temp_time <= row.wafer_mesp_time * 1.001
+        assert row.temp_speedup_over_gpu >= 1.0
+        assert row.wafer_temp_throughput > 0
+
+
+class TestConvergenceRunner:
+    def test_optimal_tatp_in_moderate_band(self):
+        results = run_convergence(model_names=("gpt3-6.7b",),
+                                  seq_lengths=(2048,))
+        assert set(results) == {("gpt3-6.7b", 2048)}
+        sweep = results[("gpt3-6.7b", 2048)]
+        best = sweep.best()
+        # Paper: the winning TATP degree converges to a moderate band and the
+        # best configuration never loses to the best TATP-free one.
+        assert 1 <= best.tatp <= 32
+        assert best.throughput >= sweep.best_without_tatp().throughput * 0.999
+        degrees = optimal_tatp_degrees(results)
+        assert degrees[("gpt3-6.7b", 2048)] == best.tatp
+
+
+class TestMultiWaferRunner:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_multiwafer_study(models={"gpt3-175b": 2},
+                                    num_microbatches=8)
+
+    def test_grid_is_complete(self, study):
+        assert study.models() == ["gpt3-175b"]
+        assert len(study.systems()) == 7
+        assert len(study.cells) == 7
+
+    def test_temp_wins_without_oom(self, study):
+        temp = study.cell("gpt3-175b", "TEMP")
+        assert not temp.oom
+        for system in study.systems():
+            if system == "TEMP":
+                continue
+            assert study.temp_speedup("gpt3-175b", system) >= 0.999
+
+    def test_pipeline_spans_wafers(self, study):
+        for cell in study.cells:
+            assert cell.num_wafers == 2
+            if not cell.oom:
+                assert cell.pp_degree >= cell.num_wafers
+
+
+class TestCostModelRunner:
+    def test_dnn_beats_regression_at_reduced_size(self):
+        study = run_cost_model_validation(
+            train_samples_per_category=60, test_samples_per_category=80,
+            epochs=40, seed=0)
+        assert set(study.dnn_accuracy) == set(study.regression_accuracy)
+        assert study.dnn_max_error() < study.regression_max_error()
+        assert study.dnn_min_correlation() > 0.5
+        assert study.test_samples > study.training_samples

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware.config import GB, TB, default_wafer_config
+from repro.hardware.config import GB, TB
 from repro.hardware.faults import FaultModel, FaultType, classify_faults
 from repro.hardware.gpu_cluster import GPUCluster
 from repro.hardware.multiwafer import MultiWaferSystem

@@ -10,7 +10,7 @@ from repro.mapping.collectives import (
     ring_hop_factor,
 )
 from repro.mapping.contention import LinkLoadMap, flows_through
-from repro.mapping.routing import Flow, route_flow
+from repro.mapping.routing import route_flow
 from repro.parallelism.comm import CollectiveType, CommTask
 
 

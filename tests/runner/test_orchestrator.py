@@ -1,0 +1,167 @@
+"""Orchestrator, manifest, docs, and CLI behaviour."""
+
+import json
+
+from repro.runner import docs as docs_module
+from repro.runner.cli import main
+from repro.runner.manifest import (
+    finite,
+    read_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.runner.orchestrator import run_all, run_experiment
+from repro.runner.registry import get_experiment
+
+
+class TestParallelSerialParity:
+    def test_two_workers_bit_identical_to_serial(self, tmp_path):
+        """Pins the shared-PlanCache injection contract: sharding cells
+        across workers (each with a private cache) must not change any row.
+        """
+        serial = run_experiment("fig09", reduced=True, jobs=1,
+                                output_dir=str(tmp_path / "serial"))
+        parallel = run_experiment("fig09", reduced=True, jobs=2,
+                                  output_dir=str(tmp_path / "parallel"))
+        assert serial["rows"] == parallel["rows"]
+        # Bit-identical through JSON serialisation as well.
+        on_disk_serial = read_manifest(str(tmp_path / "serial" / "fig09.json"))
+        on_disk_parallel = read_manifest(
+            str(tmp_path / "parallel" / "fig09.json"))
+        assert (json.dumps(on_disk_serial["rows"], sort_keys=True)
+                == json.dumps(on_disk_parallel["rows"], sort_keys=True))
+
+    def test_jobs_recorded_in_manifest(self):
+        manifest = run_experiment("fig09", reduced=True, jobs=2)
+        assert manifest["jobs"] == 2
+        assert manifest["reduced"] is True
+
+    def test_run_all_shared_pool_matches_independent_runs(self):
+        """One pool serves several figures; rows still match solo runs."""
+        manifests = run_all(["fig09", "fig20"], reduced=True, jobs=2)
+        assert list(manifests) == ["fig09", "fig20"]
+        for figure in ("fig09", "fig20"):
+            solo = run_experiment(figure, reduced=True, jobs=1)
+            assert manifests[figure]["rows"] == solo["rows"]
+
+    def test_manifest_grid_does_not_alias_registry(self):
+        manifest = run_experiment("fig09", reduced=True, jobs=1)
+        manifest["grid"]["degree"].append(999)
+        assert 999 not in get_experiment("fig09").reduced_grid["degree"]
+
+
+class TestManifest:
+    def test_finite_sanitises_nonfinite_floats(self):
+        assert finite(float("inf")) is None
+        assert finite(float("nan")) is None
+        assert finite({"a": [1.0, float("-inf")]}) == {"a": [1.0, None]}
+        assert finite("inf") == "inf"
+
+    def test_manifest_shape_and_accounting(self, tmp_path):
+        manifest = run_experiment("fig20", reduced=True, jobs=1,
+                                  output_dir=str(tmp_path))
+        assert manifest["figure"] == "fig20"
+        assert manifest["version"] == 1
+        assert len(manifest["cells"]) == 5
+        for cell in manifest["cells"]:
+            assert cell["wall_seconds"] >= 0
+            assert cell["error"] is None
+            assert cell["num_rows"] == 1
+        assert manifest["timings"]["total_seconds"] > 0
+        assert manifest["timings"]["max_cell_seconds"] >= \
+            manifest["timings"]["mean_cell_seconds"]
+
+    def test_validator_catches_schema_and_cell_errors(self, tmp_path):
+        manifest = run_experiment("fig09", reduced=True, jobs=1)
+        experiment = get_experiment("fig09")
+        assert validate_manifest(manifest, experiment) == []
+
+        broken = json.loads(json.dumps(manifest))
+        broken["rows"][0].pop("throughput")
+        assert any("mismatch schema" in problem
+                   for problem in validate_manifest(broken, experiment))
+
+        broken = json.loads(json.dumps(manifest))
+        broken["cells"][0]["error"] = "boom"
+        assert any("failed" in problem
+                   for problem in validate_manifest(broken, experiment))
+
+        broken = json.loads(json.dumps(manifest))
+        del broken["rows"]
+        assert any("missing top-level key" in problem
+                   for problem in validate_manifest(broken, experiment))
+
+    def test_failing_cell_is_recorded_not_raised(self):
+        from repro.runner.context import RunContext
+        from repro.runner.orchestrator import execute_cell
+        experiment = get_experiment("fig07")
+        outcome = execute_cell(experiment, {"model": "no-such-model",
+                                            "wafer": "4x8"},
+                               RunContext())
+        assert outcome.error is not None
+        assert outcome.rows == []
+
+    def test_write_is_strict_json(self, tmp_path):
+        manifest = run_experiment("fig09", reduced=True, jobs=1)
+        path = write_manifest(manifest, str(tmp_path))
+        text = open(path).read()
+        assert "Infinity" not in text and "NaN" not in text
+        json.loads(text)
+
+
+class TestDocs:
+    def test_rendered_docs_cover_all_figures(self):
+        content = docs_module.render_experiments_md()
+        from repro.runner.registry import figure_ids
+        for figure in figure_ids():
+            assert f"`{figure}`" in content
+
+    def test_checked_in_experiments_md_is_fresh(self):
+        """The repo's EXPERIMENTS.md must match the registry (CI parity)."""
+        import pathlib
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        assert docs_module.check_experiments_md(
+            str(repo_root / "EXPERIMENTS.md")), (
+            "EXPERIMENTS.md is stale; regenerate with "
+            "`PYTHONPATH=src python -m repro docs`")
+
+    def test_check_reports_stale_file(self, tmp_path):
+        stale = tmp_path / "EXPERIMENTS.md"
+        stale.write_text("# stale\n")
+        assert not docs_module.check_experiments_md(str(stale))
+        assert not docs_module.check_experiments_md(
+            str(tmp_path / "missing.md"))
+        written = docs_module.write_experiments_md(
+            str(tmp_path / "fresh.md"))
+        assert docs_module.check_experiments_md(written)
+
+
+class TestCLI:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "search_time" in out
+
+    def test_run_writes_manifest_and_check_passes_per_figure(self, tmp_path,
+                                                            capsys):
+        assert main(["run", "fig09", "--reduced",
+                     "--output-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "fig09.json").exists()
+        # check fails while the other figures are missing.
+        assert main(["check", "--output-dir", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "MISSING" in err
+
+    def test_run_unknown_figure_exits_nonzero(self, capsys):
+        assert main(["run", "fig99", "--reduced", "--no-write"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err and "registered" in err
+
+    def test_docs_check_against_repo_copy(self, tmp_path):
+        import pathlib
+        repo_root = pathlib.Path(__file__).resolve().parents[2]
+        assert main(["docs", "--check",
+                     "--output", str(repo_root / "EXPERIMENTS.md")]) == 0
+        stale = tmp_path / "EXPERIMENTS.md"
+        stale.write_text("# stale\n")
+        assert main(["docs", "--check", "--output", str(stale)]) == 1

@@ -6,10 +6,8 @@ from repro.hardware.gpu_cluster import GPUCluster
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.spec import ParallelSpec
 from repro.parallelism.strategies import analyze_model
-from repro.simulation.config import SimulatorConfig
 from repro.simulation.gpu import GPUClusterSimulator
 from repro.simulation.simulator import WaferSimulator
-from repro.workloads.models import get_model
 
 
 @pytest.fixture(scope="module")

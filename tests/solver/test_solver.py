@@ -3,10 +3,8 @@
 import pytest
 
 from repro.hardware.config import default_wafer_config
-from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme
 from repro.parallelism.spec import ParallelSpec
-from repro.simulation.config import SimulatorConfig
 from repro.solver.dlws import DualLevelWaferSolver
 from repro.solver.dp import optimize_segments
 from repro.solver.exhaustive import ExhaustiveSolver

@@ -1,7 +1,6 @@
 """Tests for the compute-graph IR, the transformer builder, and the model zoo."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.workloads.graph import ComputeGraph, TensorSpec
 from repro.workloads.models import (
