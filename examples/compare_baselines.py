@@ -3,44 +3,35 @@
 Run with ``python examples/compare_baselines.py [model-name]``. This is the
 single-model version of Fig. 13: every (partitioning scheme x mapping engine)
 baseline is evaluated on its best configuration and printed next to TEMP.
+Each system is one :class:`repro.Scenario`, evaluated through one shared
+:class:`repro.PlanService` so all seven searches reuse the same memoised
+execution plans.
 """
 
 import sys
 
-from repro import TEMP, WaferScaleChip, get_model
-from repro.core.framework import evaluate_baseline
-from repro.parallelism.baselines import BaselineScheme
+from repro import PlanService, get_model
+from repro.experiments.fig13_overall import SYSTEMS, scenario_for_system
 
 
 def main(model_name: str = "llama3-70b") -> None:
-    wafer = WaferScaleChip()
     model = get_model(model_name)
-    systems = [
-        (BaselineScheme.MEGATRON1, "smap", "Mega+SMap"),
-        (BaselineScheme.MEGATRON1, "gmap", "Mega+GMap"),
-        (BaselineScheme.MESP, "smap", "MeSP+SMap"),
-        (BaselineScheme.MESP, "gmap", "MeSP+GMap"),
-        (BaselineScheme.FSDP, "smap", "FSDP+SMap"),
-        (BaselineScheme.FSDP, "gmap", "FSDP+GMap"),
-    ]
+    service = PlanService()
 
     print(f"Model: {model.name} ({model.num_parameters / 1e9:.1f}B parameters)")
     print(f"{'system':<11} {'configuration':<34} {'OOM':<4} {'step(s)':>8} "
           f"{'mem(GB)':>8} {'tokens/s':>10}")
-    rows = []
-    for scheme, engine, label in systems:
-        result = evaluate_baseline(scheme, engine, model, wafer=wafer)
-        rows.append((label, result))
-    rows.append(("TEMP", TEMP(wafer=wafer).optimize(model)))
+    rows = [(system,
+             service.evaluate(scenario_for_system(model_name, system)))
+            for system in SYSTEMS]
 
-    best_time = min(r.report.step_time for _, r in rows if not r.oom)
+    best_time = min(r.step_time for _, r in rows if not r.oom)
     for label, result in rows:
-        report = result.report
         marker = " <- best" if (not result.oom
-                                and report.step_time == best_time) else ""
-        print(f"{label:<11} {result.best_spec.label():<34} "
-              f"{'yes' if result.oom else 'no':<4} {report.step_time:8.3f} "
-              f"{report.memory.total / 2**30:8.1f} {report.throughput:10.0f}"
+                                and result.step_time == best_time) else ""
+        print(f"{label:<11} {result.spec or '-':<34} "
+              f"{'yes' if result.oom else 'no':<4} {result.step_time:8.3f} "
+              f"{result.memory_gb:8.1f} {result.throughput:10.0f}"
               f"{marker}")
 
 

@@ -1,32 +1,38 @@
 """Quickstart: optimise one model on the default wafer and print the report.
 
-Run with ``python examples/quickstart.py``. The script builds the Table I
-4x8-die wafer, asks the TEMP framework for the best hybrid configuration of
-GPT-3 6.7B, and prints the chosen (DP, TP, SP, TATP) degrees together with the
-simulated step time, memory footprint, and throughput.
+Run with ``python examples/quickstart.py``. The script builds a Scenario for
+GPT-3 6.7B on the Table I 4x8-die wafer, asks the plan service for the best
+hybrid configuration, and prints the chosen (DP, TP, SP, TATP) degrees
+together with the simulated step time, memory footprint, and throughput.
+
+The same request works over JSON from the command line::
+
+    python -m repro plan '{"schema_version": 1,
+                           "workload": {"model": "gpt3-6.7b"}}'
 """
 
-from repro import TEMP, WaferScaleChip, get_model
+from repro import PlanService, Scenario, SolverSpec, WaferScaleChip, WorkloadSpec
 
 
 def main() -> None:
     wafer = WaferScaleChip()
     print("Wafer:", wafer.describe())
 
-    model = get_model("gpt3-6.7b")
-    framework = TEMP(wafer=wafer)
-    result = framework.optimize(model)
-    report = result.report
+    scenario = Scenario(
+        workload=WorkloadSpec(model="gpt3-6.7b"),
+        solver=SolverSpec.for_framework(),  # TEMP: TATP space + TCME mapping
+    )
+    result = PlanService().evaluate(scenario)
 
-    print(f"\nBest TEMP configuration for {model.name}: {result.best_spec.label()}")
-    print(f"  step time        : {report.step_time * 1e3:.1f} ms")
-    print(f"  throughput       : {report.throughput:,.0f} tokens/s")
-    print(f"  peak memory/die  : {report.memory.total / 2**30:.1f} GB "
+    print(f"\nBest TEMP configuration for {result.model}: {result.spec}")
+    print(f"  step time        : {result.step_time * 1e3:.1f} ms")
+    print(f"  throughput       : {result.throughput:,.0f} tokens/s")
+    print(f"  peak memory/die  : {result.memory_gb:.1f} GB "
           f"(capacity {wafer.config.die.hbm.capacity / 2**30:.0f} GB)")
-    print(f"  compute / comm   : {report.compute_time * 1e3:.1f} ms / "
-          f"{report.total_comm_time * 1e3:.1f} ms")
-    print(f"  power            : {report.power.total / 1e3:.1f} kW "
-          f"({report.power_efficiency:.1f} tokens/s/W)")
+    print(f"  compute / comm   : {result.compute_time * 1e3:.1f} ms / "
+          f"{result.comm_time * 1e3:.1f} ms")
+    print(f"  power            : {result.total_watts / 1e3:.1f} kW "
+          f"({result.power_efficiency:.1f} tokens/s/W)")
 
 
 if __name__ == "__main__":

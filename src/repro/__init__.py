@@ -28,12 +28,27 @@ Simulation
 Solver
     :class:`repro.solver.DualLevelWaferSolver`.
 
-Framework
+Scenario API (the blessed request/response surface)
+    :class:`repro.api.Scenario` (:class:`repro.api.WorkloadSpec` /
+    :class:`repro.api.HardwareSpec` / :class:`repro.api.SolverSpec`),
+    :class:`repro.api.PlanService` with ``evaluate(scenario) -> PlanResult``
+    and ``solve(scenario) -> SolverOutcome``; ``python -m repro plan`` is the
+    CLI front end.
+
+Framework (deprecated loose-kwargs entry points)
     :class:`repro.core.TEMP`, :func:`repro.core.evaluate_baseline`,
     :func:`repro.core.evaluate_multiwafer`, :func:`repro.core.evaluate_with_faults`.
 """
 
 from repro.core.framework import TEMP, evaluate_baseline
+from repro.api.scenario import (
+    HardwareSpec,
+    Scenario,
+    ScenarioError,
+    SolverSpec,
+    WorkloadSpec,
+)
+from repro.api.service import PlanResult, PlanService, SolverOutcome
 from repro.hardware.wafer import WaferScaleChip
 from repro.hardware.config import WaferConfig, default_wafer_config
 from repro.parallelism.spec import ParallelSpec
@@ -45,6 +60,14 @@ from repro.workloads.models import get_model, list_models
 __version__ = "0.1.0"
 
 __all__ = [
+    "Scenario",
+    "ScenarioError",
+    "WorkloadSpec",
+    "HardwareSpec",
+    "SolverSpec",
+    "PlanService",
+    "PlanResult",
+    "SolverOutcome",
     "TEMP",
     "evaluate_baseline",
     "WaferScaleChip",

@@ -1,0 +1,48 @@
+"""The Scenario API: typed, serializable plan requests and the plan service.
+
+Quick start::
+
+    from repro.api import Scenario, WorkloadSpec, SolverSpec, PlanService
+
+    scenario = Scenario(workload=WorkloadSpec(model="gpt3-6.7b"),
+                        solver=SolverSpec(scheme="temp", engine="tcme"))
+    result = PlanService().evaluate(scenario)
+    print(result.spec, result.step_time, result.throughput)
+
+Every entry point — the experiment cell runners, ``python -m repro plan``,
+and future server front-ends — speaks this request/response shape.
+
+The service classes are imported lazily (PEP 562): the scenario tree has no
+dependency on :mod:`repro.core`, so core modules may import
+``repro.api.scenario`` without a cycle.
+"""
+
+from repro.api.scenario import (  # noqa: F401
+    SCHEMA_VERSION,
+    HardwareSpec,
+    Scenario,
+    ScenarioError,
+    SolverSpec,
+    WorkloadSpec,
+)
+
+_SERVICE_EXPORTS = ("PlanService", "PlanResult", "SolverOutcome",
+                    "RESULT_KINDS", "validate_result_payload")
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HardwareSpec",
+    "Scenario",
+    "ScenarioError",
+    "SolverSpec",
+    "WorkloadSpec",
+    *_SERVICE_EXPORTS,
+]
+
+
+def __getattr__(name):
+    """Lazily expose the service layer (avoids a repro.core import cycle)."""
+    if name in _SERVICE_EXPORTS:
+        from repro.api import service
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -62,6 +62,7 @@ def evaluate_with_faults(
     config: Optional[SimulatorConfig] = None,
     engine: str = "tcme",
     rebalance: bool = True,
+    wafer_config=None,
 ) -> FaultToleranceResult:
     """Simulate ``spec`` on a healthy and a faulty wafer and compare.
 
@@ -73,10 +74,13 @@ def evaluate_with_faults(
         engine: mapping engine to use.
         rebalance: apply step 2 (adaptive re-partitioning) so core faults are
             absorbed by re-balancing instead of gating on the slowest die.
+        wafer_config: geometry of the wafer the faults are injected into
+            (Table I 4x8 by default); both the healthy and the faulty wafer
+            are built from it.
     """
     config = config or SimulatorConfig()
-    healthy_wafer = WaferScaleChip()
-    faulty_wafer = WaferScaleChip(fault_model=fault_model)
+    healthy_wafer = WaferScaleChip(wafer_config)
+    faulty_wafer = WaferScaleChip(wafer_config, fault_model=fault_model)
 
     healthy_report = _simulate(model, spec, healthy_wafer, config, engine)
     try:

@@ -5,18 +5,27 @@ and a model, it searches the TATP-enabled configuration space with the
 dual-level solver, maps the winner with the traffic-conscious mapping engine,
 and returns the simulated training-step report.
 
-:func:`evaluate_baseline` evaluates one (partitioning scheme, mapping engine)
-pair the way the paper's figures do: enumerate the scheme's candidate
-configurations, simulate each with the given mapping engine, and keep the
-best-performing configuration that does not run out of memory (reporting the
-OOM if none fits).
+:func:`run_baseline_scenario` is the engine room behind the Scenario API
+(:mod:`repro.api`): it consumes a :class:`~repro.api.scenario.Scenario`,
+enumerates the scheme's candidate configurations, simulates each with the
+requested mapping engine, and keeps the best-performing configuration that
+does not run out of memory (reporting the OOM if none fits).
+:func:`simulate_fixed_spec` is the no-search variant for scenarios that pin
+one :class:`ParallelSpec`.
+
+:func:`evaluate_baseline` is the deprecated loose-kwargs predecessor; it is a
+thin shim over the same search and returns bit-identical results (pinned by
+``tests/api/test_service.py``). New code should build a ``Scenario`` and call
+:meth:`repro.api.PlanService.evaluate` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+from repro.api.scenario import SolverSpec
 from repro.costmodel.tables import PlanCache
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme, candidate_specs
@@ -26,6 +35,9 @@ from repro.simulation.simulator import SimulationReport, WaferSimulator
 from repro.solver.dlws import DualLevelWaferSolver, SolverResult
 from repro.solver.search_space import prune_specs
 from repro.workloads.models import ModelConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.scenario import Scenario
 
 
 @dataclass
@@ -47,7 +59,134 @@ class BaselineResult:
         return f"{self.scheme.value}+{self.engine}"
 
 
+def scheme_max_tp(scheme: BaselineScheme, model: ModelConfig) -> int:
+    """The tensor-parallel cap a scheme's recipe allows on ``model``.
+
+    Megatron recipes keep the tensor-parallel degree within one
+    high-bandwidth group of 8; TEMP's own space may push TP (and TATP)
+    further.
+    """
+    if scheme in (BaselineScheme.MEGATRON1, BaselineScheme.MESP):
+        return min(8, model.num_heads)
+    return min(32, model.num_heads)
+
+
 def evaluate_baseline(
+    scheme: BaselineScheme,
+    engine: str,
+    model: ModelConfig,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+    max_tatp: int = 32,
+    pipeline_degrees: Sequence[int] = (1,),
+    max_candidates: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
+) -> BaselineResult:
+    """Deprecated loose-kwargs front of the baseline search.
+
+    .. deprecated::
+        Build a :class:`repro.api.scenario.Scenario` and call
+        :meth:`repro.api.PlanService.evaluate` (or ``evaluate_raw``)
+        instead. This shim delegates to the same search and returns
+        bit-identical results.
+    """
+    warnings.warn(
+        "evaluate_baseline() is deprecated; build a Scenario and use "
+        "repro.api.PlanService.evaluate instead",
+        DeprecationWarning, stacklevel=2)
+    return _search_baseline(
+        scheme, engine, model, wafer=wafer, config=config, max_tatp=max_tatp,
+        pipeline_degrees=pipeline_degrees, max_candidates=max_candidates,
+        plan_cache=plan_cache)
+
+
+def run_baseline_scenario(
+    scenario: "Scenario",
+    plan_cache: Optional[PlanCache] = None,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> BaselineResult:
+    """Run the single-wafer baseline search described by ``scenario``.
+
+    ``wafer`` and ``config`` default to what the scenario's hardware spec
+    resolves to; callers holding an already-built (identical) wafer may pass
+    it to skip reconstruction. ``plan_cache`` lets a caller evaluating many
+    scenarios — e.g. a sweep-orchestrator worker — share one memoised
+    ``analyze_model`` across evaluations; the cache is pure memoisation, so
+    results are identical with a private or a shared cache.
+    """
+    solver = scenario.solver
+    return _search_baseline(
+        solver.resolved_scheme(),
+        solver.engine,
+        scenario.workload.resolve(),
+        wafer=wafer if wafer is not None else scenario.hardware.resolve_wafer(),
+        config=config if config is not None else scenario.hardware.resolve_simulator(),
+        max_tatp=solver.max_tatp,
+        pipeline_degrees=solver.pipeline_degrees,
+        max_candidates=solver.max_candidates,
+        plan_cache=plan_cache,
+    )
+
+
+def simulate_fixed_spec(
+    scenario: "Scenario",
+    plan_cache: Optional[PlanCache] = None,
+    wafer: Optional[WaferScaleChip] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> BaselineResult:
+    """Evaluate the one pinned configuration of a fixed-spec scenario.
+
+    No search happens: the solver spec's ``fixed_spec`` is analysed and
+    simulated as-is (with the usual activation-checkpointing retry on OOM,
+    unless the scenario disables ``allow_checkpoint_fallback``).
+    """
+    solver = scenario.solver
+    spec = solver.resolve_fixed_spec()
+    model = scenario.workload.resolve()
+    wafer = wafer if wafer is not None else scenario.hardware.resolve_wafer()
+    config = (config if config is not None
+              else scenario.hardware.resolve_simulator())
+    plan_cache = plan_cache if plan_cache is not None else PlanCache()
+    simulator = WaferSimulator(wafer, config)
+    report = _simulate_with_fallback(
+        simulator, plan_cache, model, spec, wafer.num_dies, solver.engine,
+        allow_checkpointing=solver.allow_checkpoint_fallback)
+    return BaselineResult(
+        scheme=solver.resolved_scheme(),
+        engine=solver.engine,
+        model=model,
+        best_spec=spec,
+        report=report,
+        oom=report.oom,
+        candidates_evaluated=1,
+        all_reports={spec.label(): report},
+    )
+
+
+def _simulate_with_fallback(
+    simulator: WaferSimulator,
+    plan_cache: PlanCache,
+    model: ModelConfig,
+    spec: ParallelSpec,
+    num_devices: int,
+    engine: str,
+    allow_checkpointing: bool,
+) -> SimulationReport:
+    """Simulate one spec, retrying with activation checkpointing on OOM."""
+    plan = plan_cache.analyze(model, spec, num_devices=num_devices)
+    report = simulator.simulate(plan, engine=engine)
+    if report.oom and allow_checkpointing:
+        checkpointed_plan = plan_cache.analyze(
+            model, spec, num_devices=num_devices,
+            activation_checkpointing=True)
+        checkpointed = simulator.simulate(checkpointed_plan, engine=engine)
+        if not checkpointed.oom:
+            report = checkpointed
+    return report
+
+
+def _search_baseline(
     scheme: BaselineScheme,
     engine: str,
     model: ModelConfig,
@@ -60,15 +199,10 @@ def evaluate_baseline(
 ) -> BaselineResult:
     """Evaluate one scheme with one mapping engine on one model.
 
-    Every candidate configuration of the scheme is analysed and simulated; the
-    fastest configuration that fits in memory wins. When no configuration
-    fits, the result is flagged OOM and carries the least-over-capacity report
-    (this is how the OOM bars of Fig. 13 are produced).
-
-    ``plan_cache`` lets a caller evaluating many (scheme, engine, model) cells
-    — e.g. a sweep-orchestrator worker — share one memoised ``analyze_model``
-    across evaluations; the cache is pure memoisation, so results are
-    identical with a private or a shared cache.
+    Every candidate configuration of the scheme is analysed and simulated;
+    the fastest configuration that fits in memory wins. When no configuration
+    fits, the result is flagged OOM and carries the least-over-capacity
+    report (this is how the OOM bars of Fig. 13 are produced).
     """
     wafer = wafer or WaferScaleChip()
     simulator = WaferSimulator(wafer, config)
@@ -76,14 +210,9 @@ def evaluate_baseline(
     # Pruning and the simulation loop below analyse the same specs; the plan
     # cache derives each execution plan exactly once.
     plan_cache = plan_cache if plan_cache is not None else PlanCache()
-    # Megatron recipes keep the tensor-parallel degree within one high-bandwidth
-    # group of 8; TEMP's own space may push TP (and TATP) further.
-    max_tp = min(32, model.num_heads)
-    if scheme in (BaselineScheme.MEGATRON1, BaselineScheme.MESP):
-        max_tp = min(8, model.num_heads)
     all_specs = candidate_specs(
         scheme, num_devices,
-        max_tp=max_tp,
+        max_tp=scheme_max_tp(scheme, model),
         max_tatp=max_tatp,
         pipeline_degrees=pipeline_degrees,
     )
@@ -98,7 +227,7 @@ def evaluate_baseline(
             key=lambda s: plan_cache.analyze(model, s, num_devices=num_devices)
             .memory.total)]
     if max_candidates is not None and len(specs) > max_candidates:
-        specs = _downsample(specs, max_candidates)
+        specs = downsample_specs(specs, max_candidates)
 
     reports: Dict[str, SimulationReport] = {}
     best_spec: Optional[ParallelSpec] = None
@@ -112,17 +241,9 @@ def evaluate_baseline(
     allow_checkpointing = scheme is not BaselineScheme.MEGATRON1
 
     for spec in specs:
-        plan = plan_cache.analyze(model, spec, num_devices=num_devices)
-        report = simulator.simulate(plan, engine=engine)
-        if report.oom and allow_checkpointing:
-            # Fall back to activation checkpointing (full recomputation)
-            # before declaring the configuration infeasible.
-            checkpointed_plan = plan_cache.analyze(
-                model, spec, num_devices=num_devices,
-                activation_checkpointing=True)
-            checkpointed = simulator.simulate(checkpointed_plan, engine=engine)
-            if not checkpointed.oom:
-                report = checkpointed
+        report = _simulate_with_fallback(
+            simulator, plan_cache, model, spec, num_devices, engine,
+            allow_checkpointing=allow_checkpointing)
         reports[spec.label()] = report
         if report.oom:
             if (fallback_report is None
@@ -143,16 +264,32 @@ def evaluate_baseline(
         candidates_evaluated=len(specs), all_reports=reports)
 
 
-def _downsample(specs: List[ParallelSpec], limit: int) -> List[ParallelSpec]:
-    """Evenly subsample a candidate list while keeping its endpoints."""
+def downsample_specs(specs: List[ParallelSpec], limit: int) -> List[ParallelSpec]:
+    """Evenly subsample a candidate list while keeping both endpoints."""
     if limit >= len(specs):
         return specs
-    stride = len(specs) / limit
-    return [specs[int(index * stride)] for index in range(limit)]
+    if limit == 1:
+        return [specs[0]]
+    # Spread limit indices over [0, len-1] inclusive; the stride is >= 1
+    # (limit < len), so the rounded indices are strictly increasing and the
+    # last one lands exactly on len(specs) - 1.
+    stride = (len(specs) - 1) / (limit - 1)
+    return [specs[min(round(index * stride), len(specs) - 1)]
+            for index in range(limit)]
+
+
+#: Backwards-compatible alias (the helper predates the Scenario API).
+_downsample = downsample_specs
 
 
 class TEMP:
     """End-to-end TEMP framework (TATP + TCME + DLWS).
+
+    .. deprecated::
+        Build a :class:`repro.api.scenario.Scenario` (with
+        :meth:`~repro.api.scenario.SolverSpec.for_framework` for the ablation
+        switches) and call :class:`repro.api.PlanService` instead. The class
+        keeps working and returns bit-identical results.
 
     Args:
         wafer: the wafer-scale chip to optimise for (Table I, 4x8 by default).
@@ -162,7 +299,7 @@ class TEMP:
             the naive sequential mapper is used instead (ablation switch).
         max_tatp: cap on the TATP degree the solver explores.
         plan_cache: optional shared ``analyze_model`` memoisation (see
-            :func:`evaluate_baseline`).
+            :func:`run_baseline_scenario`).
     """
 
     def __init__(
@@ -174,6 +311,10 @@ class TEMP:
         max_tatp: int = 32,
         plan_cache: Optional[PlanCache] = None,
     ) -> None:
+        warnings.warn(
+            "TEMP() is deprecated; build a Scenario with "
+            "SolverSpec.for_framework(...) and use repro.api.PlanService "
+            "instead", DeprecationWarning, stacklevel=2)
         self.wafer = wafer or WaferScaleChip()
         self.config = config or SimulatorConfig()
         self.enable_tatp = enable_tatp
@@ -181,10 +322,24 @@ class TEMP:
         self.max_tatp = max_tatp if enable_tatp else 1
         self.plan_cache = plan_cache
 
+    def _solver_spec(
+        self,
+        pipeline_degrees: Sequence[int] = (1,),
+        max_candidates: Optional[int] = None,
+    ) -> SolverSpec:
+        """The framework's solver spec (single home of scheme resolution)."""
+        return SolverSpec.for_framework(
+            enable_tatp=self.enable_tatp,
+            enable_tcme=self.enable_tcme,
+            max_tatp=self.max_tatp,
+            pipeline_degrees=pipeline_degrees,
+            max_candidates=max_candidates,
+        )
+
     @property
     def mapping_engine(self) -> str:
         """Name of the mapping engine the framework uses."""
-        return "tcme" if self.enable_tcme else "smap"
+        return self._solver_spec().engine
 
     def optimize(
         self,
@@ -197,26 +352,27 @@ class TEMP:
         Returns a :class:`BaselineResult` so TEMP slots into the same reporting
         pipeline as the baselines.
         """
-        scheme = BaselineScheme.TEMP if self.enable_tatp else BaselineScheme.FSDP
-        result = evaluate_baseline(
-            scheme,
-            self.mapping_engine,
+        solver = self._solver_spec(pipeline_degrees=pipeline_degrees,
+                                   max_candidates=max_candidates)
+        return _search_baseline(
+            solver.resolved_scheme(),
+            solver.engine,
             model,
             wafer=self.wafer,
             config=self.config,
-            max_tatp=self.max_tatp,
-            pipeline_degrees=pipeline_degrees,
-            max_candidates=max_candidates,
+            max_tatp=solver.max_tatp,
+            pipeline_degrees=solver.pipeline_degrees,
+            max_candidates=solver.max_candidates,
             plan_cache=self.plan_cache,
         )
-        return result
 
     def solve(self, model: ModelConfig) -> SolverResult:
         """Run the full dual-level solver (DP + GA + simulator finalists)."""
+        solver_spec = self._solver_spec()
         solver = DualLevelWaferSolver(
             wafer=self.wafer,
             config=self.config,
-            mapping_engine=self.mapping_engine,
+            mapping_engine=solver_spec.engine,
         )
-        scheme = BaselineScheme.TEMP if self.enable_tatp else BaselineScheme.FSDP
-        return solver.solve(model, scheme=scheme, max_tatp=self.max_tatp)
+        return solver.solve(model, scheme=solver_spec.resolved_scheme(),
+                            max_tatp=solver_spec.max_tatp)

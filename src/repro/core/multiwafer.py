@@ -15,8 +15,9 @@ the bubble term.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.costmodel.tables import PlanCache
 from repro.hardware.multiwafer import MultiWaferSystem
@@ -26,6 +27,9 @@ from repro.simulation.config import SimulatorConfig
 from repro.simulation.simulator import SimulationReport, WaferSimulator
 from repro.solver.search_space import prune_specs
 from repro.workloads.models import ModelConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.scenario import Scenario
 
 
 @dataclass
@@ -85,17 +89,66 @@ def evaluate_multiwafer(
     max_tatp: int = 32,
     plan_cache: Optional[PlanCache] = None,
 ) -> MultiWaferResult:
-    """Evaluate one scheme + mapping engine on a multi-wafer system.
+    """Deprecated loose-kwargs front of the multi-wafer search.
 
-    ``plan_cache`` lets a caller sweeping many (scheme, engine, model) cells
-    share one memoised ``analyze_model`` across evaluations (the cache is
-    pure memoisation; results are identical with or without it).
+    .. deprecated::
+        Build a :class:`repro.api.scenario.Scenario` with
+        ``HardwareSpec(num_wafers=...)`` and call
+        :meth:`repro.api.PlanService.evaluate` instead. This shim delegates
+        to the same search and returns bit-identical results.
     """
+    warnings.warn(
+        "evaluate_multiwafer() is deprecated; build a Scenario with "
+        "HardwareSpec(num_wafers=...) and use repro.api.PlanService.evaluate "
+        "instead", DeprecationWarning, stacklevel=2)
+    return _search_multiwafer(
+        scheme, engine, model, num_wafers, config=config,
+        num_microbatches=num_microbatches, max_tatp=max_tatp,
+        plan_cache=plan_cache)
+
+
+def run_multiwafer_scenario(
+    scenario: "Scenario",
+    plan_cache: Optional[PlanCache] = None,
+) -> MultiWaferResult:
+    """Run the multi-wafer (pipelined) search described by ``scenario``.
+
+    The scenario's hardware spec supplies the wafer count and the number of
+    pipeline microbatches; the solver spec supplies scheme, engine, and the
+    TATP cap. ``plan_cache`` shares one memoised ``analyze_model`` across
+    evaluations (pure memoisation; results are identical with or without it).
+    """
+    solver = scenario.solver
+    return _search_multiwafer(
+        solver.resolved_scheme(),
+        solver.engine,
+        scenario.workload.resolve(),
+        scenario.hardware.num_wafers,
+        config=scenario.hardware.resolve_simulator(),
+        num_microbatches=scenario.hardware.num_microbatches,
+        max_tatp=solver.max_tatp,
+        plan_cache=plan_cache,
+        wafer_config=scenario.hardware.resolve_config(),
+    )
+
+
+def _search_multiwafer(
+    scheme: BaselineScheme,
+    engine: str,
+    model: ModelConfig,
+    num_wafers: int,
+    config: Optional[SimulatorConfig] = None,
+    num_microbatches: int = 16,
+    max_tatp: int = 32,
+    plan_cache: Optional[PlanCache] = None,
+    wafer_config=None,
+) -> MultiWaferResult:
+    """Evaluate one scheme + mapping engine on a multi-wafer system."""
     if num_wafers < 1:
         raise ValueError("num_wafers must be >= 1")
     config = config or SimulatorConfig()
     plan_cache = plan_cache if plan_cache is not None else PlanCache()
-    system = MultiWaferSystem(num_wafers)
+    system = MultiWaferSystem(num_wafers, wafer_config=wafer_config)
     wafer = system.wafers[0]
     simulator = WaferSimulator(wafer, config)
     dies_per_wafer = wafer.config.num_dies

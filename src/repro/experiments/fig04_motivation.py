@@ -8,21 +8,22 @@ Two measurements drive the paper's motivation:
 * **Fig. 4(c)** — tensor replication inflates memory well beyond the ideal
   (fully sharded) footprint, pushing large models past the per-die HBM
   capacity.
+
+Both halves are described by :class:`repro.api.Scenario` objects: the
+breakdown is a MeSP+SMap search scenario, the memory study pins the
+Megatron (TP=8, DP=wafer/8) and ideal (full-wafer TATP) configurations as
+fixed specs (checkpoint fallback disabled so the replicated footprint — and
+its OOM — is reported as-is).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
-from repro.core.framework import evaluate_baseline
-from repro.costmodel.tables import PlanCache
-from repro.hardware.wafer import WaferScaleChip
-from repro.parallelism.baselines import BaselineScheme
-from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.strategies import analyze_model
+from repro.api.scenario import HardwareSpec, Scenario, SolverSpec, WorkloadSpec
+from repro.api.service import PlanService
 from repro.runner.registry import register
-from repro.simulation.config import SimulatorConfig
 from repro.workloads.models import get_model
 
 
@@ -34,6 +35,51 @@ BREAKDOWN_MODELS = [
 
 #: Models of the Fig. 4(c) memory study.
 MEMORY_MODELS = ["deepseek-7b", "llama2-70b", "bloom-176b"]
+
+#: Tensor-parallel degree of the Fig. 4(c) Megatron recipe.
+_MEMORY_TP = 8
+
+
+def scenario_for_part(part: str, model: str) -> Scenario:
+    """The :class:`Scenario` of one (sub-study, model) cell of Fig. 4.
+
+    The memory part's scenario is the Megatron configuration; the ideal
+    (fully sharded) companion is derived from it with
+    :func:`ideal_memory_scenario`.
+    """
+    workload = WorkloadSpec(model=model)
+    if part == "breakdown":
+        return Scenario(workload=workload,
+                        solver=SolverSpec(scheme="mesp", engine="smap"))
+    if part == "memory":
+        hardware = HardwareSpec()
+        model_config = get_model(model)
+        tp = min(_MEMORY_TP, model_config.num_heads, hardware.num_dies)
+        return Scenario(
+            workload=workload,
+            hardware=hardware,
+            solver=SolverSpec(
+                scheme="megatron1", engine="smap",
+                fixed_spec={"dp": hardware.num_dies // tp, "tp": tp,
+                            "zero1_optimizer": False},
+                allow_checkpoint_fallback=False,
+            ),
+        )
+    raise ValueError(f"unknown Fig. 4 part {part!r}")
+
+
+def ideal_memory_scenario(memory_scenario: Scenario) -> Scenario:
+    """The zero-redundancy companion of a Fig. 4(c) memory scenario.
+
+    The "Ideal" bar of the figure is the zero-redundancy footprint: every
+    tensor sharded across all dies under the same micro-batched training
+    recipe, which is exactly what a full-wafer TATP partitioning yields.
+    """
+    return replace(
+        memory_scenario,
+        solver=replace(memory_scenario.solver, scheme="temp",
+                       fixed_spec={"tatp": memory_scenario.hardware.num_dies}),
+    )
 
 
 @dataclass
@@ -75,75 +121,61 @@ class MotivationResults:
 
 def run_breakdown(
     models: Optional[Sequence[str]] = None,
-    wafer: Optional[WaferScaleChip] = None,
-    config: Optional[SimulatorConfig] = None,
-    plan_cache: Optional[PlanCache] = None,
+    service: Optional[PlanService] = None,
 ) -> List[BreakdownRow]:
     """Fig. 4(b): Megatron-style training-time breakdown per model."""
     model_names = list(models) if models is not None else list(BREAKDOWN_MODELS)
-    wafer = wafer or WaferScaleChip()
+    service = service or PlanService()
     rows: List[BreakdownRow] = []
     for name in model_names:
-        model = get_model(name)
-        result = evaluate_baseline(
-            BaselineScheme.MESP, "smap", model, wafer=wafer, config=config,
-            plan_cache=plan_cache)
-        report = result.report
-        if report is None:
+        result = service.evaluate(scenario_for_part("breakdown", name))
+        if result.step_time <= 0 or result.spec is None:
             continue
+        collective = result.comm_time / result.step_time
         rows.append(BreakdownRow(
             model=name,
-            collective_fraction=report.total_comm_time / report.step_time,
-            other_fraction=1.0 - report.total_comm_time / report.step_time,
-            bandwidth_utilization=report.bandwidth_utilization,
-            spec=result.best_spec.label() if result.best_spec else "-",
+            collective_fraction=collective,
+            other_fraction=1.0 - collective,
+            bandwidth_utilization=result.bandwidth_utilization,
+            spec=result.spec,
         ))
     return rows
 
 
 def run_memory_comparison(
     models: Optional[Sequence[str]] = None,
-    wafer: Optional[WaferScaleChip] = None,
-    tp: int = 8,
+    service: Optional[PlanService] = None,
 ) -> List[MemoryRow]:
     """Fig. 4(c): Megatron (TP=8, DP=wafer/8) vs ideal fully-sharded memory."""
     model_names = list(models) if models is not None else list(MEMORY_MODELS)
-    wafer = wafer or WaferScaleChip()
-    num_dies = wafer.num_dies
-    capacity_gb = wafer.config.die.hbm.capacity / (1024 ** 3)
+    service = service or PlanService()
     rows: List[MemoryRow] = []
     for name in model_names:
-        model = get_model(name)
-        tp_degree = min(tp, model.num_heads, num_dies)
-        spec = ParallelSpec(dp=num_dies // tp_degree, tp=tp_degree,
-                            zero1_optimizer=False)
-        plan = analyze_model(model, spec, num_devices=num_dies)
-        # The "Ideal" bar of the figure is the zero-redundancy footprint: every
-        # tensor sharded across all dies under the same micro-batched training
-        # recipe, which is exactly what a full-wafer TATP partitioning yields.
-        ideal_plan = analyze_model(
-            model, ParallelSpec(tatp=num_dies), num_devices=num_dies)
-        megatron_gb = plan.memory.total / (1024 ** 3)
+        scenario = scenario_for_part("memory", name)
+        capacity_gb = (scenario.hardware.resolve_config().die.hbm.capacity
+                       / (1024 ** 3))
+        megatron = service.evaluate(scenario)
+        ideal = service.evaluate(ideal_memory_scenario(scenario))
         rows.append(MemoryRow(
             model=name,
-            megatron_gb=megatron_gb,
-            ideal_gb=ideal_plan.memory.total / (1024 ** 3),
+            megatron_gb=megatron.memory_gb,
+            ideal_gb=ideal.memory_gb,
             capacity_gb=capacity_gb,
-            megatron_oom=megatron_gb > capacity_gb,
+            megatron_oom=megatron.memory_gb > capacity_gb,
         ))
     return rows
 
 
 def run_motivation(
-    wafer: Optional[WaferScaleChip] = None,
-    config: Optional[SimulatorConfig] = None,
     breakdown_models: Optional[Sequence[str]] = None,
     memory_models: Optional[Sequence[str]] = None,
+    service: Optional[PlanService] = None,
 ) -> MotivationResults:
     """Run both halves of Fig. 4."""
+    service = service or PlanService()
     return MotivationResults(
-        breakdown=run_breakdown(breakdown_models, wafer, config),
-        memory=run_memory_comparison(memory_models, wafer),
+        breakdown=run_breakdown(breakdown_models, service=service),
+        memory=run_memory_comparison(memory_models, service=service),
     )
 
 
@@ -167,6 +199,7 @@ def run_motivation(
                 "Fig. 4(c) compares Megatron's replicated memory footprint "
                 "against the ideal fully-sharded one. Columns of the other "
                 "sub-study are null in each row.",
+    scenario=scenario_for_part,
 )
 def motivation_cell(ctx, part, model):
     """One (sub-study, model) cell of Fig. 4."""
@@ -180,8 +213,7 @@ def motivation_cell(ctx, part, model):
             "ideal_gb": None,
             "capacity_gb": None,
             "oom": False,
-        } for row in run_breakdown(models=[model],
-                                   plan_cache=ctx.plan_cache)]
+        } for row in run_breakdown(models=[model], service=ctx.service)]
     if part == "memory":
         return [{
             "collective_fraction": None,
@@ -192,5 +224,6 @@ def motivation_cell(ctx, part, model):
             "ideal_gb": row.ideal_gb,
             "capacity_gb": row.capacity_gb,
             "oom": row.megatron_oom,
-        } for row in run_memory_comparison(models=[model])]
+        } for row in run_memory_comparison(models=[model],
+                                           service=ctx.service)]
     raise ValueError(f"unknown Fig. 4 part {part!r}")

@@ -6,25 +6,20 @@ relays that stall computation. The figure sweeps wafer sizes and shows the
 utilisation gap growing past 30% for large wafers — the motivation for TATP's
 topology awareness.
 
-The runner evaluates the same TATP plan twice: once mapped by TCME (snake
-ordering, contiguous chains) and once with a deliberately scattered group
-assignment, and reports the achieved compute utilisation of both.
+The runner evaluates the same pinned TATP scenario twice: once with the TCME
+engine (snake ordering, contiguous chains) and once with the adversarial
+``"scattered"`` engine (:class:`repro.mapping.engines.ScatteredEngine`), and
+reports the achieved compute utilisation of both.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
-from repro.hardware.config import default_wafer_config
-from repro.hardware.wafer import WaferScaleChip
-from repro.mapping.engines import SMapEngine, TCMEEngine
-from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.strategies import analyze_model
+from repro.api.scenario import HardwareSpec, Scenario, SolverSpec, WorkloadSpec
+from repro.api.service import PlanService
 from repro.runner.registry import register
-from repro.simulation.config import SimulatorConfig
-from repro.simulation.simulator import WaferSimulator
-from repro.workloads.models import get_model
 
 #: (rows, cols) wafer sizes swept by the figure, smallest to largest.
 WAFER_SIZES: List[Tuple[int, int]] = [(4, 5), (4, 8), (6, 8), (8, 10)]
@@ -32,26 +27,28 @@ WAFER_SIZES: List[Tuple[int, int]] = [(4, 5), (4, 8), (6, 8), (8, 10)]
 #: Models of the sweep.
 MODELS = ["llama2-7b", "llama2-30b", "llama2-70b"]
 
+#: TATP degree the figure fixes.
+_TATP_DEGREE = 8
 
-class ScatteredEngine(SMapEngine):
-    """A mapper that deliberately scatters group members across the wafer.
 
-    Logical neighbours land on dies that are far apart (stride-based
-    interleaving), forcing every TATP relay and ring step onto multi-hop
-    paths: the "logical ring" case of the figure.
+def scenario_for_ring(model: str, wafer: str) -> Scenario:
+    """The physical-ring :class:`Scenario` of one (model, wafer size) cell.
+
+    ``wafer`` is a "RxC" geometry label like ``"4x8"``. The logical-ring
+    companion is the same scenario with the ``"scattered"`` engine.
     """
-
-    name = "scattered"
-
-    def _die_ordering(self, wafer, plan):  # noqa: D102 - see class docstring
-        dies = wafer.healthy_dies()
-        half = (len(dies) + 1) // 2
-        interleaved: List[int] = []
-        for index in range(half):
-            interleaved.append(dies[index])
-            if index + half < len(dies):
-                interleaved.append(dies[index + half])
-        return interleaved
+    rows, cols = (int(part) for part in wafer.split("x"))
+    hardware = HardwareSpec(rows=rows, cols=cols)
+    return Scenario(
+        workload=WorkloadSpec(model=model),
+        hardware=hardware,
+        solver=SolverSpec(
+            engine="tcme",
+            fixed_spec={"dp": hardware.num_dies // _TATP_DEGREE,
+                        "tatp": _TATP_DEGREE},
+            allow_checkpoint_fallback=False,
+        ),
+    )
 
 
 @dataclass
@@ -74,26 +71,29 @@ class RingUtilizationRow:
 def run_ring_utilization(
     models: Optional[Sequence[str]] = None,
     wafer_sizes: Optional[Sequence[Tuple[int, int]]] = None,
-    tatp_degree: int = 8,
-    config: Optional[SimulatorConfig] = None,
+    tatp_degree: int = _TATP_DEGREE,
+    service: Optional[PlanService] = None,
 ) -> List[RingUtilizationRow]:
     """Run the Fig. 7(c) sweep."""
     model_names = list(models) if models is not None else list(MODELS)
     sizes = list(wafer_sizes) if wafer_sizes is not None else list(WAFER_SIZES)
-    config = config or SimulatorConfig()
+    service = service or PlanService()
     rows: List[RingUtilizationRow] = []
-    for rows_cols in sizes:
-        wafer = WaferScaleChip(default_wafer_config(*rows_cols))
-        num_dies = wafer.num_dies
+    for wafer_rows, wafer_cols in sizes:
+        num_dies = wafer_rows * wafer_cols
         if num_dies % tatp_degree:
             continue
         for name in model_names:
-            model = get_model(name)
-            spec = ParallelSpec(dp=num_dies // tatp_degree, tatp=tatp_degree)
-            plan = analyze_model(model, spec, num_devices=num_dies)
-            simulator = WaferSimulator(wafer, config)
-            physical = simulator.simulate_with_engine(plan, TCMEEngine())
-            logical = simulator.simulate_with_engine(plan, ScatteredEngine())
+            scenario = scenario_for_ring(name, f"{wafer_rows}x{wafer_cols}")
+            if tatp_degree != _TATP_DEGREE:
+                scenario = replace(scenario, solver=replace(
+                    scenario.solver,
+                    fixed_spec={"dp": num_dies // tatp_degree,
+                                "tatp": tatp_degree}))
+            scattered = replace(scenario, solver=replace(
+                scenario.solver, engine="scattered"))
+            physical = service.evaluate(scenario)
+            logical = service.evaluate(scattered)
             rows.append(RingUtilizationRow(
                 model=name,
                 wafer_dies=num_dies,
@@ -117,10 +117,11 @@ def run_ring_utilization(
     schema=("model", "wafer", "wafer_dies", "physical_ring_utilization",
             "logical_ring_utilization", "utilization_drop"),
     entrypoints=("run_ring_utilization",),
-    description="The same TATP plan is mapped once onto contiguous physical "
-                "rings (TCME) and once deliberately scattered; the gap is "
-                "the multi-hop relay penalty that motivates TATP's topology "
-                "awareness.",
+    description="The same pinned TATP scenario is mapped once onto "
+                "contiguous physical rings (TCME) and once with the "
+                "adversarial scattered engine; the gap is the multi-hop "
+                "relay penalty that motivates TATP's topology awareness.",
+    scenario=scenario_for_ring,
 )
 def ring_utilization_cell(ctx, model, wafer):
     """One (model, wafer size) cell of Fig. 7(c)."""
@@ -131,4 +132,5 @@ def ring_utilization_cell(ctx, model, wafer):
         "logical_ring_utilization": row.logical_ring_utilization,
         "utilization_drop": row.utilization_drop,
     } for row in run_ring_utilization(models=[model],
-                                      wafer_sizes=[(rows_count, cols)])]
+                                      wafer_sizes=[(rows_count, cols)],
+                                      service=ctx.service)]

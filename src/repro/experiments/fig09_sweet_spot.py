@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.api.scenario import Scenario, SolverSpec
 from repro.hardware.config import WaferConfig, default_wafer_config
 from repro.parallelism.tatp import TATPCharacteristics
 from repro.runner.registry import register
@@ -21,6 +22,17 @@ from repro.simulation.config import SimulatorConfig
 
 #: Die counts swept by the figure.
 DIE_COUNTS = [2, 4, 8, 16, 32, 64]
+
+
+def scenario_for_degree(degree: int) -> Scenario:
+    """The :class:`Scenario` of one TATP degree of the Fig. 9 sweep.
+
+    The sweep is purely analytical (one linear layer, no model search), so
+    the scenario pins the TATP degree as a fixed spec and contributes the
+    wafer geometry; the layer workload itself is the module's
+    :class:`LinearLayerWorkload`.
+    """
+    return Scenario(solver=SolverSpec(fixed_spec={"tatp": int(degree)}))
 
 
 @dataclass(frozen=True)
@@ -170,9 +182,13 @@ def optimal_power_efficiency_degree(points: Sequence[SweetSpotPoint]) -> int:
                 "dies under TATP; throughput peaks at a moderate degree "
                 "while the power mix shifts from compute- to "
                 "communication/DRAM-dominated.",
+    scenario=scenario_for_degree,
 )
 def sweet_spot_cell(ctx, degree):
     """One TATP degree of the Fig. 9 sweep (purely analytical)."""
+    scenario = scenario_for_degree(degree)
+    degree = scenario.solver.resolve_fixed_spec().tatp
+    wafer = scenario.hardware.resolve_config()
     return [{
         "throughput": point.throughput,
         "memory_bytes_per_die": point.memory_bytes_per_die,
@@ -183,4 +199,4 @@ def sweet_spot_cell(ctx, degree):
         "dram_power_fraction": point.dram_power_fraction,
         "total_power": point.total_power,
         "power_efficiency": point.power_efficiency,
-    } for point in run_sweet_spot(die_counts=[degree])]
+    } for point in run_sweet_spot(die_counts=[degree], wafer=wafer)]

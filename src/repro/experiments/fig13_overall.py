@@ -5,6 +5,11 @@ evaluated on the Table II models. For each cell the runner reports the
 normalised training latency with its computation / communication breakdown,
 the peak per-die memory, and whether the configuration ran out of memory —
 exactly the quantities the figure plots.
+
+Every cell is described by a :class:`repro.api.Scenario`
+(:func:`scenario_for_system`) and evaluated through
+:class:`repro.api.PlanService`; Fig. 14 reads the power numbers off the same
+scenarios this figure reads the latency off.
 """
 
 from __future__ import annotations
@@ -12,14 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.framework import BaselineResult, TEMP, evaluate_baseline
+from repro.api.scenario import Scenario, SolverSpec, WorkloadSpec
+from repro.api.service import PlanResult, PlanService
+from repro.core.framework import BaselineResult
 from repro.core.metrics import geometric_mean
 from repro.costmodel.tables import PlanCache
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme
 from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
-from repro.workloads.models import TABLE_II_MODELS, get_model
+from repro.workloads.models import TABLE_II_MODELS
 
 #: The six baseline (scheme, engine) pairs of the figure, in label order.
 BASELINE_GRID = [
@@ -40,6 +47,24 @@ _SYSTEM_TABLE = {label: (scheme, engine)
 
 #: Short model list used by fast test runs.
 FAST_MODELS = ["gpt3-6.7b", "llama3-70b"]
+
+
+def scenario_for_system(model: str, system: str) -> Scenario:
+    """The :class:`Scenario` of one (model, system) cell of Fig. 13/14.
+
+    ``system`` is one of :data:`SYSTEMS` ("Mega+SMap" ... "TEMP").
+    """
+    workload = WorkloadSpec(model=model)
+    if system == "TEMP":
+        return Scenario(workload=workload, solver=SolverSpec.for_framework())
+    try:
+        scheme, engine = _SYSTEM_TABLE[system]
+    except KeyError:
+        known = ", ".join(SYSTEMS)
+        raise KeyError(
+            f"unknown system {system!r}; expected one of {known}") from None
+    return Scenario(workload=workload,
+                    solver=SolverSpec(scheme=scheme.value, engine=engine))
 
 
 @dataclass
@@ -136,26 +161,20 @@ def evaluate_system_result(
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
     plan_cache: Optional[PlanCache] = None,
+    service: Optional[PlanService] = None,
 ) -> BaselineResult:
     """Raw :class:`BaselineResult` of one (model, system) pair.
 
-    ``system`` is one of :data:`SYSTEMS` ("Mega+SMap" ... "TEMP"). Fig. 14
-    reads the power numbers off the same results this figure reads the
-    latency off, so both share this evaluator.
+    Builds the cell's scenario and runs it through a
+    :class:`~repro.api.service.PlanService` (a fresh one around
+    ``plan_cache`` unless ``service`` is given). Fig. 14 reads the power
+    numbers off the same results this figure reads the latency off, so both
+    share this evaluator.
     """
-    model = get_model(model_name)
-    wafer = wafer or WaferScaleChip()
-    if system == "TEMP":
-        return TEMP(wafer=wafer, config=config,
-                    plan_cache=plan_cache).optimize(model)
-    try:
-        scheme, engine = _SYSTEM_TABLE[system]
-    except KeyError:
-        known = ", ".join(SYSTEMS)
-        raise KeyError(
-            f"unknown system {system!r}; expected one of {known}") from None
-    return evaluate_baseline(scheme, engine, model, wafer=wafer,
-                             config=config, plan_cache=plan_cache)
+    if service is None:
+        service = PlanService(plan_cache=plan_cache)
+    return service.evaluate_raw(scenario_for_system(model_name, system),
+                                wafer=wafer, config=config)
 
 
 def evaluate_system(
@@ -164,11 +183,13 @@ def evaluate_system(
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
     plan_cache: Optional[PlanCache] = None,
+    service: Optional[PlanService] = None,
 ) -> OverallCell:
     """Evaluate one (model, system) cell of the Fig. 13 grid."""
     result = evaluate_system_result(model_name, system, wafer=wafer,
-                                    config=config, plan_cache=plan_cache)
-    return _cell_from(model_name, system, result)
+                                    config=config, plan_cache=plan_cache,
+                                    service=service)
+    return _cell_from(model_name, system, PlanResult.from_baseline(result))
 
 
 def run_overall_comparison(
@@ -189,29 +210,27 @@ def run_overall_comparison(
         The populated :class:`OverallComparison`.
     """
     model_names = list(models) if models is not None else list(TABLE_II_MODELS)
-    wafer = wafer or WaferScaleChip()
+    service = PlanService(plan_cache=plan_cache)
     comparison = OverallComparison()
     for name in model_names:
         for system in SYSTEMS:
             comparison.cells.append(evaluate_system(
-                name, system, wafer=wafer, config=config,
-                plan_cache=plan_cache))
+                name, system, wafer=wafer, config=config, service=service))
     return comparison
 
 
-def _cell_from(model: str, system: str, result: BaselineResult) -> OverallCell:
-    report = result.report
+def _cell_from(model: str, system: str, result: PlanResult) -> OverallCell:
     return OverallCell(
         model=model,
         system=system,
-        spec=result.best_spec.label() if result.best_spec else "-",
+        spec=result.spec if result.spec else "-",
         oom=result.oom,
-        step_time=report.step_time if report else float("inf"),
-        compute_time=report.compute_time if report else 0.0,
-        comm_time=report.total_comm_time if report else 0.0,
-        memory_gb=report.memory.total / (1024 ** 3) if report else 0.0,
-        throughput=report.throughput if report else 0.0,
-        power_efficiency=report.power_efficiency if report else 0.0,
+        step_time=result.step_time,
+        compute_time=result.compute_time,
+        comm_time=result.comm_time,
+        memory_gb=result.memory_gb,
+        throughput=result.throughput,
+        power_efficiency=result.power_efficiency,
     )
 
 
@@ -243,11 +262,11 @@ def format_table(comparison: OverallComparison) -> str:
                 "on the Table II models: normalised training latency with "
                 "its compute/communication breakdown, peak per-die memory, "
                 "and OOM flags.",
+    scenario=scenario_for_system,
 )
 def overall_cell(ctx, model, system):
     """One (model, system) cell of Fig. 13."""
-    cell = evaluate_system(model, system, wafer=ctx.wafer,
-                           plan_cache=ctx.plan_cache)
+    cell = evaluate_system(model, system, service=ctx.service)
     return [{
         "spec": cell.spec,
         "oom": cell.oom,

@@ -1,8 +1,9 @@
 """Fig. 14: power breakdown and power efficiency.
 
-The same (scheme x engine) grid as Fig. 13, but reporting the power
-decomposition (computation / memory / communication) and the throughput-per-
-watt relative to each baseline.
+The same (scheme x engine) grid — and the same :class:`repro.api.Scenario`
+per cell — as Fig. 13, but reporting the power decomposition (computation /
+memory / communication) and the throughput-per-watt relative to each
+baseline.
 """
 
 from __future__ import annotations
@@ -10,12 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.service import PlanResult, PlanService
 from repro.core.metrics import geometric_mean
 from repro.costmodel.tables import PlanCache
 from repro.experiments.fig13_overall import (
     FAST_MODELS,
     SYSTEMS,
     evaluate_system_result,
+    scenario_for_system,
 )
 from repro.hardware.wafer import WaferScaleChip
 from repro.runner.registry import register
@@ -112,11 +115,13 @@ def evaluate_power_system(
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
     plan_cache: Optional[PlanCache] = None,
+    service: Optional[PlanService] = None,
 ) -> PowerCell:
     """Evaluate one (model, system) cell of the Fig. 14 grid."""
     result = evaluate_system_result(model_name, system, wafer=wafer,
-                                    config=config, plan_cache=plan_cache)
-    return _cell_from(model_name, system, result)
+                                    config=config, plan_cache=plan_cache,
+                                    service=service)
+    return _cell_from(model_name, system, PlanResult.from_baseline(result))
 
 
 def run_power_comparison(
@@ -127,29 +132,26 @@ def run_power_comparison(
 ) -> PowerComparison:
     """Run the Fig. 14 grid (power breakdown + efficiency)."""
     model_names = list(models) if models is not None else list(TABLE_II_MODELS)
-    wafer = wafer or WaferScaleChip()
+    service = PlanService(plan_cache=plan_cache)
     comparison = PowerComparison()
     for name in model_names:
         for system in SYSTEMS:
             comparison.cells.append(evaluate_power_system(
-                name, system, wafer=wafer, config=config,
-                plan_cache=plan_cache))
+                name, system, wafer=wafer, config=config, service=service))
     return comparison
 
 
-def _cell_from(model: str, system: str, result) -> PowerCell:
-    report = result.report
-    power = report.power if report else None
+def _cell_from(model: str, system: str, result: PlanResult) -> PowerCell:
     return PowerCell(
         model=model,
         system=system,
         oom=result.oom,
-        compute_watts=power.compute if power else 0.0,
-        dram_watts=power.dram if power else 0.0,
-        comm_watts=power.communication if power else 0.0,
-        total_watts=power.total if power else 0.0,
-        power_efficiency=report.power_efficiency if report else 0.0,
-        energy_per_step=(power.total * report.step_time) if power and report else 0.0,
+        compute_watts=result.compute_watts,
+        dram_watts=result.dram_watts,
+        comm_watts=result.comm_watts,
+        total_watts=result.total_watts,
+        power_efficiency=result.power_efficiency,
+        energy_per_step=result.energy_per_step,
     )
 
 
@@ -166,11 +168,11 @@ def _cell_from(model: str, system: str, result) -> PowerCell:
     description="The Fig. 13 grid re-read for power: the computation / "
                 "memory / communication decomposition and the "
                 "throughput-per-watt of every system.",
+    scenario=scenario_for_system,
 )
 def power_cell(ctx, model, system):
     """One (model, system) cell of Fig. 14."""
-    cell = evaluate_power_system(model, system, wafer=ctx.wafer,
-                                 plan_cache=ctx.plan_cache)
+    cell = evaluate_power_system(model, system, service=ctx.service)
     return [{
         "oom": cell.oom,
         "compute_watts": cell.compute_watts,

@@ -5,6 +5,11 @@ aggregate FP16 peak. The GPU cluster runs Megatron-3 (MeSP); the wafer runs
 MeSP (mapped with GMap) and TEMP. The paper finds the GPU cluster slightly
 ahead of the wafer when both run MeSP (hybrid parallelism doesn't fit the
 mesh), while Wafer+TEMP overtakes both.
+
+Every system is a :class:`repro.api.Scenario`: the GPU comparator sets
+``HardwareSpec(platform="gpu_cluster")`` and the
+:class:`~repro.api.service.PlanService` dispatches it to the cluster
+simulator.
 """
 
 from __future__ import annotations
@@ -12,18 +17,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.framework import TEMP, evaluate_baseline
-from repro.hardware.gpu_cluster import GPUCluster
-from repro.hardware.wafer import WaferScaleChip
-from repro.parallelism.baselines import BaselineScheme, candidate_specs
-from repro.parallelism.strategies import analyze_model
+from repro.api.scenario import HardwareSpec, Scenario, SolverSpec, WorkloadSpec
+from repro.api.service import PlanService
 from repro.runner.registry import register
-from repro.simulation.config import SimulatorConfig
-from repro.simulation.gpu import GPUClusterSimulator
-from repro.workloads.models import TABLE_II_MODELS, get_model
+from repro.workloads.models import TABLE_II_MODELS
 
 #: System labels of the figure.
 FIG15_SYSTEMS = ["GPU+MeSP", "Wafer+MeSP", "Wafer+TEMP"]
+
+
+def scenario_for_gpu_system(model: str, system: str) -> Scenario:
+    """The :class:`Scenario` of one (model, system) cell of Fig. 15."""
+    workload = WorkloadSpec(model=model)
+    if system == "GPU+MeSP":
+        return Scenario(
+            workload=workload,
+            hardware=HardwareSpec(platform="gpu_cluster"),
+            solver=SolverSpec(scheme="mesp", engine="cluster"),
+        )
+    if system == "Wafer+MeSP":
+        return Scenario(workload=workload,
+                        solver=SolverSpec(scheme="mesp", engine="gmap"))
+    if system == "Wafer+TEMP":
+        return Scenario(workload=workload, solver=SolverSpec.for_framework())
+    known = ", ".join(FIG15_SYSTEMS)
+    raise ValueError(f"unknown Fig. 15 system {system!r}; expected one of "
+                     f"{known}")
 
 
 @dataclass
@@ -55,62 +74,29 @@ class GPUComparisonRow:
 
 def run_gpu_comparison(
     models: Optional[Sequence[str]] = None,
-    config: Optional[SimulatorConfig] = None,
+    service: Optional[PlanService] = None,
 ) -> List[GPUComparisonRow]:
     """Run the Fig. 15 comparison on a 32-die wafer vs a 32-GPU cluster."""
     model_names = list(models) if models is not None else list(TABLE_II_MODELS)
-    config = config or SimulatorConfig()
-    wafer = WaferScaleChip()
-    cluster = GPUCluster()
-    gpu_simulator = GPUClusterSimulator(cluster, config)
+    service = service or PlanService()
 
     rows: List[GPUComparisonRow] = []
     for name in model_names:
-        model = get_model(name)
-        gpu_time, gpu_throughput = _best_gpu_mesp(model, cluster, gpu_simulator)
-        wafer_mesp = evaluate_baseline(
-            BaselineScheme.MESP, "gmap", model, wafer=wafer, config=config)
-        wafer_temp = TEMP(wafer=wafer, config=config).optimize(model)
+        gpu = service.evaluate(scenario_for_gpu_system(name, "GPU+MeSP"))
+        wafer_mesp = service.evaluate(
+            scenario_for_gpu_system(name, "Wafer+MeSP"))
+        wafer_temp = service.evaluate(
+            scenario_for_gpu_system(name, "Wafer+TEMP"))
         rows.append(GPUComparisonRow(
             model=name,
-            gpu_mesp_time=gpu_time,
-            wafer_mesp_time=(
-                wafer_mesp.report.step_time if wafer_mesp.report else float("inf")),
-            wafer_temp_time=(
-                wafer_temp.report.step_time if wafer_temp.report else float("inf")),
-            gpu_mesp_throughput=gpu_throughput,
-            wafer_mesp_throughput=(
-                wafer_mesp.report.throughput if wafer_mesp.report else 0.0),
-            wafer_temp_throughput=(
-                wafer_temp.report.throughput if wafer_temp.report else 0.0),
+            gpu_mesp_time=gpu.step_time,
+            wafer_mesp_time=wafer_mesp.step_time,
+            wafer_temp_time=wafer_temp.step_time,
+            gpu_mesp_throughput=gpu.throughput,
+            wafer_mesp_throughput=wafer_mesp.throughput,
+            wafer_temp_throughput=wafer_temp.throughput,
         ))
     return rows
-
-
-def _best_gpu_mesp(
-    model, cluster: GPUCluster, simulator: GPUClusterSimulator
-) -> (float, float):
-    """Best MeSP configuration on the GPU cluster (time, throughput)."""
-    num_devices = cluster.num_devices
-    specs = candidate_specs(
-        BaselineScheme.MESP, num_devices,
-        max_tp=min(8, model.num_heads))
-    best_time = float("inf")
-    best_throughput = 0.0
-    for spec in specs:
-        plan = analyze_model(model, spec, num_devices=num_devices)
-        report = simulator.simulate(plan)
-        if report.oom:
-            checkpointed = analyze_model(
-                model, spec, num_devices=num_devices,
-                activation_checkpointing=True)
-            report = simulator.simulate(checkpointed)
-            if report.oom:
-                continue
-        if report.step_time < best_time:
-            best_time = report.step_time
-            best_throughput = report.throughput
-    return best_time, best_throughput
 
 
 @register(
@@ -125,30 +111,14 @@ def _best_gpu_mesp(
     description="A 32-die wafer against a 4-node x 8-A100 cluster: the "
                 "cluster runs Megatron-3 (MeSP), the wafer runs MeSP "
                 "(GMap-mapped) and TEMP.",
+    scenario=scenario_for_gpu_system,
 )
 def gpu_comparison_cell(ctx, model, system):
     """One (model, system) cell of Fig. 15."""
-    model_config = get_model(model)
-    config = ctx.config
-    if system == "GPU+MeSP":
-        cluster = GPUCluster()
-        time_value, throughput = _best_gpu_mesp(
-            model_config, cluster, GPUClusterSimulator(cluster, config))
-        oom = time_value == float("inf")
-        return [{"step_time": None if oom else time_value,
-                 "throughput": throughput, "oom": oom}]
-    if system == "Wafer+MeSP":
-        result = evaluate_baseline(
-            BaselineScheme.MESP, "gmap", model_config, wafer=ctx.wafer,
-            config=config, plan_cache=ctx.plan_cache)
-    elif system == "Wafer+TEMP":
-        result = TEMP(wafer=ctx.wafer, config=config,
-                      plan_cache=ctx.plan_cache).optimize(model_config)
-    else:
-        raise ValueError(f"unknown Fig. 15 system {system!r}")
-    report = result.report
+    result = ctx.service.evaluate(scenario_for_gpu_system(model, system))
+    payload = result.to_dict()  # serialises the OOM inf step time as null
     return [{
-        "step_time": report.step_time if report else None,
-        "throughput": report.throughput if report else 0.0,
+        "step_time": payload["step_time"],
+        "throughput": result.throughput,
         "oom": result.oom,
     }]

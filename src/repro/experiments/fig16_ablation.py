@@ -17,17 +17,44 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.framework import TEMP, evaluate_baseline
+from repro.api.scenario import Scenario, SolverSpec, WorkloadSpec
+from repro.api.service import PlanService
 from repro.core.metrics import geometric_mean
 from repro.costmodel.tables import PlanCache
 from repro.hardware.wafer import WaferScaleChip
-from repro.parallelism.baselines import BaselineScheme
 from repro.runner.registry import register
 from repro.simulation.config import SimulatorConfig
-from repro.workloads.models import TABLE_II_MODELS, get_model
+from repro.workloads.models import TABLE_II_MODELS
 
 #: Ablation step labels, in order.
 ABLATION_STEPS = ["base", "base+tatp", "base+tatp+tcme"]
+
+#: Step label -> the framework's two ablation switches.
+_STEP_SWITCHES = {
+    "base": (False, False),
+    "base+tatp": (True, False),
+    "base+tatp+tcme": (True, True),
+}
+
+
+def scenario_for_step(model: str, step: str) -> Scenario:
+    """The :class:`Scenario` of one (model, ablation step) cell.
+
+    Each step toggles the framework's two switches; the scheme/engine
+    resolution lives in :meth:`SolverSpec.for_framework`.
+    """
+    try:
+        enable_tatp, enable_tcme = _STEP_SWITCHES[step]
+    except KeyError:
+        known = ", ".join(ABLATION_STEPS)
+        raise ValueError(
+            f"unknown ablation step {step!r}; expected one of {known}"
+        ) from None
+    return Scenario(
+        workload=WorkloadSpec(model=model),
+        solver=SolverSpec.for_framework(enable_tatp=enable_tatp,
+                                        enable_tcme=enable_tcme),
+    )
 
 
 @dataclass
@@ -68,25 +95,16 @@ def evaluate_ablation_step(
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
     plan_cache: Optional[PlanCache] = None,
+    service: Optional[PlanService] = None,
 ):
     """Evaluate one ablation step; returns the raw ``BaselineResult``.
 
     ``step`` is one of :data:`ABLATION_STEPS`.
     """
-    model = get_model(model_name)
-    wafer = wafer or WaferScaleChip()
-    if step == "base":
-        return evaluate_baseline(
-            BaselineScheme.FSDP, "smap", model, wafer=wafer, config=config,
-            plan_cache=plan_cache)
-    if step == "base+tatp":
-        return TEMP(wafer=wafer, config=config, enable_tatp=True,
-                    enable_tcme=False, plan_cache=plan_cache).optimize(model)
-    if step == "base+tatp+tcme":
-        return TEMP(wafer=wafer, config=config, enable_tatp=True,
-                    enable_tcme=True, plan_cache=plan_cache).optimize(model)
-    known = ", ".join(ABLATION_STEPS)
-    raise ValueError(f"unknown ablation step {step!r}; expected one of {known}")
+    if service is None:
+        service = PlanService(plan_cache=plan_cache)
+    return service.evaluate_raw(scenario_for_step(model_name, step),
+                                wafer=wafer, config=config)
 
 
 def run_ablation(
@@ -97,14 +115,13 @@ def run_ablation(
 ) -> AblationStudy:
     """Run the Fig. 16 ablation."""
     model_names = list(models) if models is not None else list(TABLE_II_MODELS)
-    wafer = wafer or WaferScaleChip()
+    service = PlanService(plan_cache=plan_cache)
     study = AblationStudy()
     for name in model_names:
         row = AblationRow(model=name)
         for step in ABLATION_STEPS:
             result = evaluate_ablation_step(name, step, wafer=wafer,
-                                            config=config,
-                                            plan_cache=plan_cache)
+                                            config=config, service=service)
             row.throughput[step] = (
                 result.report.throughput if result.report else 0.0)
             row.specs[step] = (
@@ -125,11 +142,11 @@ def run_ablation(
     description="TEMP's two optimisations are enabled incrementally on top "
                 "of the FSDP+SMap baseline; the figure normalises each "
                 "model's throughput to the base step.",
+    scenario=scenario_for_step,
 )
 def ablation_cell(ctx, model, step):
     """One (model, ablation step) cell of Fig. 16."""
-    result = evaluate_ablation_step(model, step, wafer=ctx.wafer,
-                                    plan_cache=ctx.plan_cache)
+    result = evaluate_ablation_step(model, step, service=ctx.service)
     return [{
         "throughput": result.report.throughput if result.report else 0.0,
         "spec": result.best_spec.label() if result.best_spec else "-",

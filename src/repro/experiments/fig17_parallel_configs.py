@@ -6,23 +6,41 @@ Fig. 18 repeats the exercise for the GPT-3 models and reports which
 configuration wins; the paper's observation is that the winning TATP degree
 consistently lands around 8-16 while the DP/TP/SP mix shifts with sequence
 length and model size.
+
+Each sweep is one base :class:`repro.api.Scenario`
+(:func:`scenario_for_sweep`, carrying the workload overrides and the
+engine); every enumerated configuration is a pinned-spec copy evaluated
+through :class:`~repro.api.service.PlanService`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.hardware.wafer import WaferScaleChip
+from repro.api.scenario import Scenario, SolverSpec, WorkloadSpec
+from repro.api.service import PlanService
 from repro.parallelism.spec import ParallelSpec
-from repro.parallelism.strategies import analyze_model
 from repro.runner.registry import register
-from repro.simulation.config import SimulatorConfig
-from repro.simulation.simulator import WaferSimulator
-from repro.workloads.models import get_model
 
 #: Sequence lengths of Fig. 17 (short 2k / long 16k training).
 FIG17_SEQ_LENGTHS = [2048, 16384]
+
+
+def scenario_for_sweep(model: str, seq_length: int,
+                       batch_size: Optional[int] = None) -> Scenario:
+    """The base :class:`Scenario` of one (model, sequence length) sweep.
+
+    Fig. 17(a) uses batch 128 with 2k sequences; Fig. 17(b) uses batch 32
+    with 16k sequences (long-sequence training shrinks the batch).
+    """
+    if batch_size is None:
+        batch_size = 128 if seq_length <= 4096 else 32
+    return Scenario(
+        workload=WorkloadSpec(model=model, batch_size=batch_size,
+                              seq_length=seq_length),
+        solver=SolverSpec(engine="tcme"),
+    )
 
 
 @dataclass
@@ -100,43 +118,29 @@ def run_config_sweep(
     model_name: str = "llama2-7b",
     seq_length: int = 2048,
     batch_size: Optional[int] = None,
-    wafer: Optional[WaferScaleChip] = None,
-    config: Optional[SimulatorConfig] = None,
     engine: str = "tcme",
     max_tatp: int = 32,
+    service: Optional[PlanService] = None,
 ) -> ConfigSweep:
-    """Sweep every (DP, TP, SP, TATP) configuration of one model.
-
-    Fig. 17(a) uses batch 128 with 2k sequences; Fig. 17(b) uses batch 32 with
-    16k sequences (long-sequence training shrinks the batch).
-    """
-    wafer = wafer or WaferScaleChip()
-    config = config or SimulatorConfig()
-    simulator = WaferSimulator(wafer, config)
-    base_model = get_model(model_name)
-    if batch_size is None:
-        batch_size = 128 if seq_length <= 4096 else 32
-    model = base_model.with_overrides(batch_size=batch_size, seq_length=seq_length)
+    """Sweep every (DP, TP, SP, TATP) configuration of one model."""
+    service = service or PlanService()
+    base = scenario_for_sweep(model_name, seq_length, batch_size=batch_size)
+    if engine != base.solver.engine:
+        base = replace(base, solver=replace(base.solver, engine=engine))
+    model = base.workload.resolve()
+    num_dies = base.hardware.num_dies
 
     sweep = ConfigSweep(model=model_name, seq_length=seq_length)
-    for spec in enumerate_configs(wafer.num_dies, max_tatp=max_tatp):
+    for spec in enumerate_configs(num_dies, max_tatp=max_tatp):
         if spec.tp > model.num_heads:
             continue
-        plan = analyze_model(model, spec, num_devices=wafer.num_dies)
-        report = simulator.simulate(plan, engine=engine)
-        if report.oom:
-            checkpointed = analyze_model(
-                model, spec, num_devices=wafer.num_dies,
-                activation_checkpointing=True)
-            retry = simulator.simulate(checkpointed, engine=engine)
-            if not retry.oom:
-                report = retry
+        result = service.evaluate(base.with_fixed_spec(spec))
         sweep.configs.append(ConfigThroughput(
             dp=spec.dp, tp=spec.tp, sp=spec.sp, tatp=spec.tatp,
-            throughput=report.throughput,
-            step_time=report.step_time,
-            memory_gb=report.memory.total / (1024 ** 3),
-            oom=report.oom,
+            throughput=result.throughput,
+            step_time=result.step_time,
+            memory_gb=result.memory_gb,
+            oom=result.oom,
         ))
     return sweep
 
@@ -144,15 +148,15 @@ def run_config_sweep(
 def run_convergence_study(
     model_names: Sequence[str] = ("gpt3-6.7b", "gpt3-76b", "gpt3-175b"),
     seq_lengths: Sequence[int] = (2048, 16384),
-    wafer: Optional[WaferScaleChip] = None,
-    config: Optional[SimulatorConfig] = None,
+    service: Optional[PlanService] = None,
 ) -> Dict[Tuple[str, int], ConfigSweep]:
     """Fig. 18: best configurations of the GPT-3 models for short/long sequences."""
+    service = service or PlanService()
     results: Dict[Tuple[str, int], ConfigSweep] = {}
     for name in model_names:
         for seq in seq_lengths:
             results[(name, seq)] = run_config_sweep(
-                model_name=name, seq_length=seq, wafer=wafer, config=config)
+                model_name=name, seq_length=seq, service=service)
     return results
 
 
@@ -168,11 +172,12 @@ def run_convergence_study(
     description="Llama2 7B on a 32-die wafer under TCME: every "
                 "(DP, TP, SP, TATP) combination filling the wafer, for "
                 "short (2k, batch 128) and long (16k, batch 32) sequences.",
+    scenario=scenario_for_sweep,
 )
 def config_sweep_cell(ctx, model, seq_length):
     """One (model, sequence length) sweep of Fig. 17 (one row per config)."""
     sweep = run_config_sweep(model_name=model, seq_length=seq_length,
-                             wafer=ctx.wafer, config=ctx.config)
+                             service=ctx.service)
     return [{
         "config": item.label,
         "dp": item.dp,

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.experiments.fig17_parallel_configs import ConfigSweep, run_config_sweep
-from repro.hardware.wafer import WaferScaleChip
+from repro.api.service import PlanService
+from repro.experiments.fig17_parallel_configs import (
+    ConfigSweep,
+    run_config_sweep,
+    scenario_for_sweep,
+)
 from repro.runner.registry import register
-from repro.simulation.config import SimulatorConfig
 
 #: Models and sequence lengths of Fig. 18.
 CONVERGENCE_MODELS = ("gpt3-6.7b", "gpt3-76b", "gpt3-175b")
@@ -23,15 +26,15 @@ CONVERGENCE_SEQ_LENGTHS = (2048, 16384)
 def run_convergence(
     model_names: Sequence[str] = CONVERGENCE_MODELS,
     seq_lengths: Sequence[int] = CONVERGENCE_SEQ_LENGTHS,
-    wafer: Optional[WaferScaleChip] = None,
-    config: Optional[SimulatorConfig] = None,
+    service: Optional[PlanService] = None,
 ) -> Dict[Tuple[str, int], ConfigSweep]:
     """Run the Fig. 18 sweeps and return one ConfigSweep per (model, seq)."""
+    service = service or PlanService()
     results: Dict[Tuple[str, int], ConfigSweep] = {}
     for name in model_names:
         for seq in seq_lengths:
             results[(name, seq)] = run_config_sweep(
-                model_name=name, seq_length=seq, wafer=wafer, config=config)
+                model_name=name, seq_length=seq, service=service)
     return results
 
 
@@ -58,11 +61,12 @@ def optimal_tatp_degrees(
     description="The Fig. 17 sweep applied to the GPT-3 models: one summary "
                 "row per (model, sequence length) reporting the winning "
                 "configuration and its TATP degree.",
+    scenario=scenario_for_sweep,
 )
 def convergence_cell(ctx, model, seq_length):
     """One (model, sequence length) summary row of Fig. 18."""
     sweep = run_config_sweep(model_name=model, seq_length=seq_length,
-                             wafer=ctx.wafer, config=ctx.config)
+                             service=ctx.service)
     best = sweep.best()
     feasible = [item for item in sweep.configs if not item.oom]
     try:

@@ -12,12 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.multiwafer import evaluate_multiwafer
+from repro.api.scenario import HardwareSpec, Scenario, SolverSpec, WorkloadSpec
+from repro.api.service import PlanService
 from repro.costmodel.tables import PlanCache
 from repro.parallelism.baselines import BaselineScheme
 from repro.runner.registry import register
-from repro.simulation.config import SimulatorConfig
-from repro.workloads.models import MULTI_WAFER_MODELS, get_model
+from repro.workloads.models import MULTI_WAFER_MODELS
 
 #: The (scheme, engine, label) grid of Fig. 19 (same systems as Fig. 13).
 MULTI_WAFER_GRID = [
@@ -29,6 +29,34 @@ MULTI_WAFER_GRID = [
     (BaselineScheme.FSDP, "gmap", "FSDP+GMap"),
     (BaselineScheme.TEMP, "tcme", "TEMP"),
 ]
+
+#: Label -> (scheme, engine) lookup of the Fig. 19 systems.
+_SYSTEM_TABLE = {label: (scheme, engine)
+                 for scheme, engine, label in MULTI_WAFER_GRID}
+
+
+def scenario_for_multiwafer(model: str, system: str,
+                            num_wafers: Optional[int] = None,
+                            num_microbatches: int = 16) -> Scenario:
+    """The :class:`Scenario` of one (model, system) cell of Fig. 19.
+
+    ``num_wafers`` defaults to the paper's wafer count for the model
+    (:data:`MULTI_WAFER_MODELS`).
+    """
+    try:
+        scheme, engine = _SYSTEM_TABLE[system]
+    except KeyError:
+        known = ", ".join(label for _, _, label in MULTI_WAFER_GRID)
+        raise KeyError(
+            f"unknown system {system!r}; expected one of {known}") from None
+    if num_wafers is None:
+        num_wafers = MULTI_WAFER_MODELS[model]
+    return Scenario(
+        workload=WorkloadSpec(model=model),
+        hardware=HardwareSpec(num_wafers=num_wafers,
+                              num_microbatches=num_microbatches),
+        solver=SolverSpec(scheme=scheme.value, engine=engine),
+    )
 
 
 @dataclass
@@ -89,7 +117,6 @@ class MultiWaferStudy:
 def run_multiwafer_study(
     models: Optional[Dict[str, int]] = None,
     systems: Optional[Sequence[Tuple[BaselineScheme, str, str]]] = None,
-    config: Optional[SimulatorConfig] = None,
     num_microbatches: int = 16,
     plan_cache: Optional[PlanCache] = None,
 ) -> MultiWaferStudy:
@@ -99,43 +126,40 @@ def run_multiwafer_study(
         models: mapping of model name -> wafer count (defaults to the paper's
             four models).
         systems: (scheme, engine, label) triples to evaluate.
-        config: simulator knobs.
         num_microbatches: pipeline microbatches per step.
         plan_cache: optional shared ``analyze_model`` memoisation.
     """
     model_map = dict(models) if models is not None else dict(MULTI_WAFER_MODELS)
     grid = list(systems) if systems is not None else list(MULTI_WAFER_GRID)
+    service = PlanService(plan_cache=plan_cache)
     study = MultiWaferStudy()
     for name, num_wafers in model_map.items():
         for scheme, engine, label in grid:
+            scenario = Scenario(
+                workload=WorkloadSpec(model=name),
+                hardware=HardwareSpec(num_wafers=num_wafers,
+                                      num_microbatches=num_microbatches),
+                solver=SolverSpec(scheme=scheme.value, engine=engine),
+            )
             study.cells.append(evaluate_multiwafer_cell(
-                name, scheme, engine, label, num_wafers, config=config,
-                num_microbatches=num_microbatches, plan_cache=plan_cache))
+                scenario, label, service=service))
     return study
 
 
 def evaluate_multiwafer_cell(
-    model_name: str,
-    scheme: BaselineScheme,
-    engine: str,
+    scenario: Scenario,
     label: str,
-    num_wafers: int,
-    config: Optional[SimulatorConfig] = None,
-    num_microbatches: int = 16,
-    plan_cache: Optional[PlanCache] = None,
+    service: Optional[PlanService] = None,
 ) -> MultiWaferCell:
-    """Evaluate one (model, system) cell of Fig. 19."""
-    model = get_model(model_name)
-    result = evaluate_multiwafer(
-        scheme, engine, model, num_wafers,
-        config=config, num_microbatches=num_microbatches,
-        plan_cache=plan_cache)
+    """Evaluate one (model, system) scenario of Fig. 19."""
+    service = service or PlanService()
+    result = service.evaluate(scenario)
     return MultiWaferCell(
-        model=model_name,
+        model=result.model,
         system=label,
-        num_wafers=num_wafers,
-        spec=result.best_spec.label() if result.best_spec else "-",
-        pp_degree=result.best_spec.pp if result.best_spec else 0,
+        num_wafers=result.num_wafers,
+        spec=result.spec if result.spec else "-",
+        pp_degree=result.pp_degree,
         step_time=result.step_time,
         compute_time=result.compute_time,
         comm_time=result.comm_time,
@@ -143,11 +167,6 @@ def evaluate_multiwafer_cell(
         throughput=result.throughput,
         oom=result.oom,
     )
-
-
-#: Label -> (scheme, engine) lookup of the Fig. 19 systems.
-_SYSTEM_TABLE = {label: (scheme, engine)
-                 for scheme, engine, label in MULTI_WAFER_GRID}
 
 
 @register(
@@ -165,13 +184,12 @@ _SYSTEM_TABLE = {label: (scheme, engine)
     description="Larger-than-one-wafer models are pipelined across 2-6 "
                 "wafers; TEMP keeps the pipeline degree (and the bubble) "
                 "low because TATP covers more parallelism inside a wafer.",
+    scenario=scenario_for_multiwafer,
 )
 def multiwafer_cell(ctx, model, system):
     """One (model, system) cell of Fig. 19."""
-    scheme, engine = _SYSTEM_TABLE[system]
     cell = evaluate_multiwafer_cell(
-        model, scheme, engine, system, MULTI_WAFER_MODELS[model],
-        plan_cache=ctx.plan_cache)
+        scenario_for_multiwafer(model, system), system, service=ctx.service)
     return [{
         "num_wafers": cell.num_wafers,
         "spec": cell.spec,

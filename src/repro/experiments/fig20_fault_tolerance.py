@@ -5,6 +5,11 @@ rate. The paper finds a throughput cliff once roughly 35% of the links have
 failed (the mesh loses the contiguous paths TATP and the collectives rely on),
 but only graceful degradation under core faults because the framework
 re-balances tensor partitions to the surviving compute.
+
+Each sweep point is a :class:`repro.api.Scenario` whose hardware spec sets
+the fault rate and whose solver spec pins the stressed configuration
+(``dp=4, tatp=8``) and the sampling seed; the
+:class:`~repro.api.service.PlanService` dispatches it to the fault path.
 """
 
 from __future__ import annotations
@@ -12,18 +17,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.fault_tolerance import evaluate_with_faults
-from repro.hardware.faults import FaultModel
+from repro.api.scenario import HardwareSpec, Scenario, SolverSpec, WorkloadSpec
+from repro.api.service import PlanService
 from repro.parallelism.spec import ParallelSpec
 from repro.runner.registry import register
-from repro.simulation.config import SimulatorConfig
-from repro.workloads.models import get_model
 
 #: Link-fault rates swept in Fig. 20(b).
 LINK_FAULT_RATES = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8]
 
 #: Core-fault rates swept in Fig. 20(c).
 CORE_FAULT_RATES = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25]
+
+#: Default model and seed of the paper's sweep.
+_DEFAULT_MODEL = "llama2-7b"
+_DEFAULT_SEED = 7
+
+
+def scenario_for_fault(sweep: str, rate: float,
+                       model: str = _DEFAULT_MODEL,
+                       seed: int = _DEFAULT_SEED) -> Scenario:
+    """The :class:`Scenario` of one (sweep, fault rate) point of Fig. 20."""
+    if sweep == "link":
+        hardware = HardwareSpec(link_fault_rate=rate)
+    elif sweep == "core":
+        hardware = HardwareSpec(core_fault_rate=rate)
+    else:
+        raise ValueError(f"unknown fault sweep {sweep!r} (link/core)")
+    return Scenario(
+        workload=WorkloadSpec(model=model),
+        hardware=hardware,
+        solver=SolverSpec(engine="tcme", seed=seed,
+                          fixed_spec={"dp": 4, "tatp": 8}),
+    )
 
 
 @dataclass
@@ -57,33 +82,32 @@ class FaultToleranceStudy:
 
 
 def run_fault_tolerance(
-    model_name: str = "llama2-7b",
+    model_name: str = _DEFAULT_MODEL,
     spec: Optional[ParallelSpec] = None,
     link_rates: Optional[Sequence[float]] = None,
     core_rates: Optional[Sequence[float]] = None,
-    config: Optional[SimulatorConfig] = None,
-    seed: int = 7,
+    seed: int = _DEFAULT_SEED,
+    service: Optional[PlanService] = None,
 ) -> FaultToleranceStudy:
     """Run both fault sweeps of Fig. 20."""
-    spec = spec or ParallelSpec(dp=4, tatp=8)
     link_rates = list(link_rates) if link_rates is not None else list(LINK_FAULT_RATES)
     core_rates = list(core_rates) if core_rates is not None else list(CORE_FAULT_RATES)
-    config = config or SimulatorConfig()
+    service = service or PlanService()
 
     study = FaultToleranceStudy()
     for rate in link_rates:
         study.link_sweep.append(FaultSweepPoint(
             fault_rate=rate,
             relative_throughput=evaluate_fault_point(
-                "link", rate, model_name=model_name, spec=spec,
-                config=config, seed=seed),
+                "link", rate, model_name=model_name, spec=spec, seed=seed,
+                service=service),
         ))
     for rate in core_rates:
         study.core_sweep.append(FaultSweepPoint(
             fault_rate=rate,
             relative_throughput=evaluate_fault_point(
-                "core", rate, model_name=model_name, spec=spec,
-                config=config, seed=seed),
+                "core", rate, model_name=model_name, spec=spec, seed=seed,
+                service=service),
         ))
     return study
 
@@ -91,21 +115,20 @@ def run_fault_tolerance(
 def evaluate_fault_point(
     sweep: str,
     rate: float,
-    model_name: str = "llama2-7b",
+    model_name: str = _DEFAULT_MODEL,
     spec: Optional[ParallelSpec] = None,
-    config: Optional[SimulatorConfig] = None,
-    seed: int = 7,
+    seed: int = _DEFAULT_SEED,
+    service: Optional[PlanService] = None,
 ) -> float:
     """Relative throughput at one fault rate of one sweep ("link"/"core")."""
-    model = get_model(model_name)
-    spec = spec or ParallelSpec(dp=4, tatp=8)
-    if sweep == "link":
-        fault_model = FaultModel.sample_link_faults(4, 8, rate, seed=seed)
-    elif sweep == "core":
-        fault_model = FaultModel.sample_core_faults(32, rate, seed=seed)
-    else:
-        raise ValueError(f"unknown fault sweep {sweep!r} (link/core)")
-    result = evaluate_with_faults(model, spec, fault_model, config=config)
+    service = service or PlanService()
+    scenario = scenario_for_fault(sweep, rate, model=model_name, seed=seed)
+    if spec is not None:
+        scenario = scenario.with_fixed_spec(spec)
+    result = service.evaluate(scenario)
+    if result.relative_throughput is None:
+        raise ValueError(
+            f"scenario {scenario.describe()} did not take the fault path")
     return result.relative_throughput
 
 
@@ -125,9 +148,11 @@ def evaluate_fault_point(
                 "(cliff near 35%) and the core-fault rate (graceful "
                 "degradation via adaptive re-partitioning); seeded fault "
                 "sampling keeps the rows deterministic.",
+    scenario=scenario_for_fault,
 )
 def fault_point_cell(ctx, sweep, rate):
     """One (sweep, fault rate) point of Fig. 20."""
     return [{
-        "relative_throughput": evaluate_fault_point(sweep, rate),
+        "relative_throughput": evaluate_fault_point(sweep, rate,
+                                                    service=ctx.service),
     }]

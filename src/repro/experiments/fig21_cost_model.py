@@ -14,11 +14,23 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.api.scenario import Scenario, SolverSpec
 from repro.costmodel.dataset import generate_dataset
 from repro.costmodel.dnn import MLPCostModel
 from repro.costmodel.evaluation import ModelAccuracy, evaluate_model
 from repro.costmodel.regression import LinearCostModel
 from repro.runner.registry import register
+
+
+def scenario_for_validation(train_samples: int, test_samples: int,
+                            epochs: int, seed: int) -> Scenario:
+    """The :class:`Scenario` of the cost-model validation cell.
+
+    The study has no plan request of its own — it validates the predictors
+    the solver uses — so the scenario contributes the deterministic seed
+    (and round-trips through the registry serde test like every figure's).
+    """
+    return Scenario(solver=SolverSpec(seed=seed))
 
 
 @dataclass
@@ -95,14 +107,17 @@ def run_cost_model_validation(
                 "overlap); one row per (category, predictor). The query "
                 "latency is measured wall-clock and therefore kept out of "
                 "the rows to preserve determinism.",
+    scenario=scenario_for_validation,
 )
 def cost_model_cell(ctx, train_samples, test_samples, epochs, seed):
     """The single training/evaluation cell of Fig. 21."""
+    scenario = scenario_for_validation(train_samples, test_samples, epochs,
+                                       seed)
     study = run_cost_model_validation(
         train_samples_per_category=train_samples,
         test_samples_per_category=test_samples,
         epochs=epochs,
-        seed=seed,
+        seed=scenario.solver.seed,
     )
     rows = []
     for predictor, accuracies in (("dnn", study.dnn_accuracy),

@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.api.scenario import Scenario, SolverSpec, WorkloadSpec
+from repro.core.framework import downsample_specs
 from repro.costmodel.tables import CostTables
 from repro.hardware.config import default_wafer_config
 from repro.hardware.wafer import WaferScaleChip
@@ -25,6 +27,21 @@ from repro.solver.genetic import GeneticConfig, GeneticRefiner
 from repro.solver.search_space import SearchSpace
 from repro.workloads.models import get_model
 from repro.workloads.transformer import representative_layer_graph
+
+
+def scenario_for_search(model: str, max_candidates: int, exhaustive_cap: int,
+                        ga_generations: int) -> Scenario:
+    """The :class:`Scenario` of one search-time comparison cell.
+
+    ``exhaustive_cap`` bounds only the exhaustive baseline, not the plan
+    request, so it stays a cell parameter.
+    """
+    return Scenario(
+        workload=WorkloadSpec(model=model),
+        solver=SolverSpec(scheme="temp", engine="tcme",
+                          max_candidates=max_candidates,
+                          ga_generations=ga_generations),
+    )
 
 
 @dataclass
@@ -85,9 +102,7 @@ def run_search_time_comparison(
     candidates = space.pruned_candidates(wafer_config)
     if not candidates:
         candidates = space.candidates()
-    if len(candidates) > max_candidates:
-        stride = len(candidates) / max_candidates
-        candidates = [candidates[int(i * stride)] for i in range(max_candidates)]
+    candidates = downsample_specs(candidates, max_candidates)
 
     graph = representative_layer_graph(model)
 
@@ -145,15 +160,18 @@ def run_search_time_comparison(
                 "DP+GA dual-level search against a capped exhaustive joint "
                 "enumeration (the ILP stand-in). Timing columns are "
                 "wall-clock measurements and vary between runs.",
+    scenario=scenario_for_search,
 )
 def search_time_cell(ctx, model, max_candidates, exhaustive_cap,
                      ga_generations):
     """The single timed comparison cell of §VIII-H."""
+    scenario = scenario_for_search(model, max_candidates, exhaustive_cap,
+                                   ga_generations)
     result = run_search_time_comparison(
-        model_name=model,
-        max_candidates=max_candidates,
+        model_name=scenario.workload.model,
+        max_candidates=scenario.solver.max_candidates,
         exhaustive_cap=exhaustive_cap,
-        ga_generations=ga_generations,
+        ga_generations=scenario.solver.ga_generations,
     )
     return [{
         "num_candidates": result.num_candidates,

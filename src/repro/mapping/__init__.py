@@ -21,6 +21,7 @@ from repro.mapping.engines import (
     GMapEngine,
     MappingEngine,
     MappingResult,
+    ScatteredEngine,
     SMapEngine,
     TCMEEngine,
     TaskRouting,
@@ -34,6 +35,7 @@ __all__ = [
     "GMapEngine",
     "MappingEngine",
     "MappingResult",
+    "ScatteredEngine",
     "SMapEngine",
     "TCMEEngine",
     "TaskRouting",

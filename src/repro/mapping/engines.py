@@ -248,6 +248,29 @@ class SMapEngine(MappingEngine):
         return DEFAULT_DIMENSION_ORDER
 
 
+class ScatteredEngine(SMapEngine):
+    """A mapper that deliberately scatters group members across the wafer.
+
+    Logical neighbours land on dies that are far apart (stride-based
+    interleaving), forcing every TATP relay and ring step onto multi-hop
+    paths: the "logical ring" case of Fig. 7(c). Useful only as an adversary
+    — it exists so the ring-utilisation study can request the scattered
+    mapping by name through the Scenario API.
+    """
+
+    name = "scattered"
+
+    def _die_ordering(self, wafer, plan):  # noqa: D102 - see class docstring
+        dies = wafer.healthy_dies()
+        half = (len(dies) + 1) // 2
+        interleaved: List[int] = []
+        for index in range(half):
+            interleaved.append(dies[index])
+            if index + half < len(dies):
+                interleaved.append(dies[index + half])
+        return interleaved
+
+
 class GMapEngine(MappingEngine):
     """Gemini-style mapper: adaptive ordering, contention-agnostic routing."""
 
@@ -351,11 +374,12 @@ _ENGINES = {
     "smap": SMapEngine,
     "gmap": GMapEngine,
     "tcme": TCMEEngine,
+    "scattered": ScatteredEngine,
 }
 
 
 def get_engine(name: str) -> MappingEngine:
-    """Instantiate a mapping engine by name ("smap", "gmap", or "tcme")."""
+    """Instantiate a mapping engine by name ("smap", "gmap", "tcme", ...)."""
     key = name.lower()
     try:
         return _ENGINES[key]()

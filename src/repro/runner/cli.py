@@ -5,6 +5,8 @@ Sub-commands::
     repro list                         # registered figures and grid sizes
     repro run fig19 --reduced          # one figure, reduced grid
     repro run all --reduced --jobs 2   # full evaluation grid, 2 workers
+    repro plan '<json>'                # evaluate one Scenario (or '-': stdin)
+    repro plan --file scenario.json --solve
     repro check                        # every figure has a valid manifest
     repro docs [--check]               # (re)generate / verify EXPERIMENTS.md
 """
@@ -45,6 +47,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="manifest directory (default: %(default)s)")
     run.add_argument("--no-write", action="store_true",
                      help="run without writing manifests")
+
+    plan = sub.add_parser(
+        "plan",
+        help="evaluate one Scenario API request (JSON) end to end")
+    plan.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario JSON document, or '-' to read it from stdin")
+    plan.add_argument("--file", metavar="PATH",
+                      help="read the scenario JSON from a file instead")
+    plan.add_argument("--solve", action="store_true",
+                      help="run the dual-level solver instead of the "
+                           "evaluation path")
+    plan.add_argument("--validate", action="store_true",
+                      help="schema-check the emitted result and fail on "
+                           "problems (used by the CI smoke step)")
+    plan.add_argument("--indent", type=int, default=2, metavar="N",
+                      help="JSON output indentation (default: %(default)s)")
 
     check = sub.add_parser(
         "check", help="validate that every registered figure has a manifest")
@@ -108,6 +127,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.api.scenario import Scenario
+    from repro.api.service import PlanService, validate_result_payload
+
+    if args.validate and args.solve:
+        # SolverOutcome has its own (different) schema; there is no
+        # validator for it, so refuse rather than silently skipping.
+        print("error: --validate only applies to evaluation results; "
+              "drop it or --solve", file=sys.stderr)
+        return 2
+
+    if args.file is not None:
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+            return 2
+    elif args.scenario in (None, "-"):
+        text = sys.stdin.read()
+    else:
+        text = args.scenario
+
+    try:
+        scenario = Scenario.from_json(text)
+        service = PlanService()
+        if args.solve:
+            payload = service.solve(scenario).to_dict()
+        else:
+            payload = service.evaluate(scenario).to_dict()
+    except (KeyError, ValueError) as error:
+        # ScenarioError (a ValueError) covers parse/validation problems;
+        # plain ValueError/KeyError covers evaluation-path failures (e.g. no
+        # feasible configuration) — report cleanly instead of a traceback.
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    status = 0
+    if args.validate:
+        problems = validate_result_payload(payload)
+        for problem in problems:
+            print(f"invalid result: {problem}", file=sys.stderr)
+        status = 1 if problems else 0
+    print(json.dumps(payload, indent=args.indent, sort_keys=True,
+                     allow_nan=False))
+    return status
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     status = 0
     for experiment in registry.all_experiments():
@@ -155,6 +223,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "docs":

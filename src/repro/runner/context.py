@@ -2,7 +2,8 @@
 
 The orchestrator creates one :class:`RunContext` per worker (one total in
 serial mode) and passes it to every cell runner. The context owns the shared
-:class:`~repro.costmodel.tables.PlanCache` — the contract pinned by the
+:class:`~repro.api.service.PlanService` (and through it the shared
+:class:`~repro.costmodel.tables.PlanCache`) — the contract pinned by the
 serial-vs-parallel parity test is that the cache is a pure memoisation layer:
 a cell must produce bit-identical rows whether its plans come from a cold or
 a warm cache, so sharding cells across workers (each with its own cache)
@@ -23,7 +24,7 @@ class RunContext:
 
     Attributes:
         plan_cache: memoised ``analyze_model`` shared across the worker's
-            cells (injected into ``evaluate_baseline`` / ``evaluate_multiwafer``).
+            cells (owned by the worker's :class:`PlanService`).
         reduced: whether the run uses the reduced grids (informational).
     """
 
@@ -35,8 +36,22 @@ class RunContext:
         # PlanCache has __len__: `or` would discard an empty shared cache.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.reduced = reduced
+        self._service = None
         self._wafer: Optional[WaferScaleChip] = None
         self._config: Optional[SimulatorConfig] = None
+
+    @property
+    def service(self):
+        """The worker's :class:`~repro.api.service.PlanService`.
+
+        Built once per worker around the shared plan cache, so every
+        scenario the worker's cells evaluate reuses the same memoised
+        execution plans and resolved wafers.
+        """
+        if self._service is None:
+            from repro.api.service import PlanService
+            self._service = PlanService(plan_cache=self.plan_cache)
+        return self._service
 
     @property
     def wafer(self) -> WaferScaleChip:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import importlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 Grid = Union[Dict[str, Sequence], List[Dict[str, object]]]
 
@@ -48,6 +48,23 @@ class Experiment:
     schema: Tuple[str, ...]
     entrypoints: Tuple[str, ...] = field(default_factory=tuple)
     description: str = ""
+    scenario: Optional[Callable] = None
+
+    def scenario_for(self, **params) -> "object":
+        """Build the figure's :class:`repro.api.Scenario` for one cell.
+
+        Every registered figure maps its grid parameters to a Scenario via
+        the ``scenario`` builder it registered; this is what makes the grids
+        "dicts of Scenario overrides" and what the serde round-trip test
+        iterates.
+
+        Raises:
+            ValueError: when the figure registered no scenario builder.
+        """
+        if self.scenario is None:
+            raise ValueError(
+                f"figure {self.figure!r} registered no scenario builder")
+        return self.scenario(**params)
 
     def grid(self, reduced: bool = False) -> Grid:
         """The parameter grid for the requested fidelity."""
@@ -83,6 +100,7 @@ def register(
     schema: Sequence[str],
     entrypoints: Sequence[str] = (),
     description: str = "",
+    scenario: Optional[Callable] = None,
 ) -> Callable[[Callable], Callable]:
     """Class the decorated cell runner under ``figure`` in the registry.
 
@@ -97,6 +115,9 @@ def register(
         entrypoints: public ``run_*`` functions of the module, re-exported
             from ``repro.experiments``.
         description: longer prose for the generated docs.
+        scenario: builder mapping one cell's grid params to the
+            :class:`repro.api.Scenario` the cell evaluates (same signature
+            as the cell runner minus ``ctx``).
     """
 
     def decorator(func: Callable) -> Callable:
@@ -113,6 +134,7 @@ def register(
             schema=tuple(schema),
             entrypoints=tuple(entrypoints),
             description=description,
+            scenario=scenario,
         )
         return func
 

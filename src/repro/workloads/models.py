@@ -10,8 +10,8 @@ hyper-parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Mapping, Optional
 
 from repro.workloads.operators import DType
 
@@ -105,6 +105,49 @@ class ModelConfig:
         if num_layers is not None:
             updated = replace(updated, num_layers=num_layers)
         return updated
+
+    # Serialization (used by the Scenario API's inline workloads) --------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON dict of the hyper-parameters (dtype by name)."""
+        result: Dict[str, object] = {}
+        for config_field in fields(self):
+            value = getattr(self, config_field.name)
+            if isinstance(value, DType):
+                value = value.name
+            result[config_field.name] = value
+        return result
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ModelConfig":
+        """Strictly build a config from :meth:`to_dict`'s format.
+
+        Raises:
+            ValueError: on unknown keys, a missing ``name``, or an unknown
+                dtype name.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"model hyper-parameters must be a mapping, got "
+                f"{type(data).__name__}")
+        known = {config_field.name for config_field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown model hyper-parameters: {', '.join(unknown)}; "
+                f"valid: {', '.join(sorted(known))}")
+        kwargs = dict(data)
+        if "name" not in kwargs:
+            raise ValueError("model hyper-parameters must include 'name'")
+        dtype = kwargs.get("dtype")
+        if isinstance(dtype, str):
+            try:
+                kwargs["dtype"] = DType[dtype.upper()]
+            except KeyError:
+                valid = ", ".join(member.name for member in DType)
+                raise ValueError(
+                    f"unknown dtype {dtype!r}; valid: {valid}") from None
+        return cls(**kwargs)
 
 
 def _zoo() -> Dict[str, ModelConfig]:

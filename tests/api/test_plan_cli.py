@@ -1,0 +1,101 @@
+"""End-to-end tests of the ``repro plan`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.api.scenario import SCHEMA_VERSION
+from repro.api.service import validate_result_payload
+from repro.runner.cli import main
+
+
+def _reduced_scenario(**solver_extra) -> str:
+    solver = {"scheme": "temp", "engine": "tcme", "max_candidates": 4}
+    solver.update(solver_extra)
+    return json.dumps({
+        "schema_version": SCHEMA_VERSION,
+        "workload": {"model": "gpt3-6.7b"},
+        "solver": solver,
+    })
+
+
+class TestPlanCommand:
+    def test_evaluates_a_scenario_end_to_end(self, capsys):
+        assert main(["plan", _reduced_scenario(), "--validate"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_result_payload(payload) == []
+        assert payload["model"] == "gpt3-6.7b"
+        assert payload["kind"] == "single_wafer"
+        assert payload["oom"] is False
+        assert payload["step_time"] > 0
+
+    def test_reads_scenario_from_file(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(_reduced_scenario())
+        assert main(["plan", "--file", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_reads_scenario_from_stdin(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(_reduced_scenario()))
+        assert main(["plan", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "gpt3-6.7b"
+
+    def test_solve_emits_solver_outcome(self, capsys):
+        assert main(["plan", _reduced_scenario(ga_generations=4),
+                     "--solve"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "gpt3-6.7b"
+        assert payload["candidates_considered"] > 0
+        assert payload["oom"] is False
+
+    def test_invalid_document_exits_2(self, capsys):
+        assert main(["plan", "{\"schema_version\": 99}"]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_invalid_json_exits_2(self, capsys):
+        assert main(["plan", "{broken"]) == 2
+        assert "invalid scenario JSON" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["plan", "--file", "/does/not/exist.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_validate_with_solve_is_rejected(self, capsys):
+        assert main(["plan", _reduced_scenario(), "--solve",
+                     "--validate"]) == 2
+        assert "--validate only applies" in capsys.readouterr().err
+
+    def test_invalid_fixed_spec_degree_exits_2(self, capsys):
+        document = json.dumps({
+            "schema_version": SCHEMA_VERSION,
+            "workload": {"model": "gpt3-6.7b"},
+            "solver": {"fixed_spec": {"dp": 0}},
+        })
+        assert main(["plan", document]) == 2
+        assert "invalid fixed_spec" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("fixture_kind", ["fault", "multiwafer"])
+def test_plan_covers_non_default_paths(fixture_kind, capsys):
+    if fixture_kind == "fault":
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "workload": {"model": "gpt3-6.7b"},
+            "hardware": {"core_fault_rate": 0.25},
+            "solver": {"seed": 3, "fixed_spec": {"dp": 4, "tatp": 8}},
+        }
+        expected_kind = "fault"
+    else:
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "workload": {"model": "gpt3-175b"},
+            "hardware": {"num_wafers": 2, "num_microbatches": 8},
+            "solver": {"scheme": "temp", "engine": "tcme"},
+        }
+        expected_kind = "multi_wafer"
+    assert main(["plan", json.dumps(document), "--validate"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == expected_kind

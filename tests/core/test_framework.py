@@ -1,9 +1,15 @@
-"""Tests for the TEMP framework, metrics, multi-wafer, and fault tolerance."""
+"""Tests for the TEMP framework, metrics, multi-wafer, and fault tolerance.
+
+The loose-kwargs entry points exercised here (``evaluate_baseline``,
+``TEMP``, ``evaluate_multiwafer``) are deprecated in favour of the Scenario
+API; they are kept under test because the deprecation contract promises
+bit-identical results (see ``tests/api/test_service.py``).
+"""
 
 import pytest
 
 from repro.core.fault_tolerance import evaluate_with_faults
-from repro.core.framework import TEMP, evaluate_baseline
+from repro.core.framework import TEMP, downsample_specs, evaluate_baseline
 from repro.core.metrics import (
     average_speedup,
     best_non_oom,
@@ -17,6 +23,8 @@ from repro.hardware.faults import FaultModel
 from repro.parallelism.baselines import BaselineScheme
 from repro.parallelism.spec import ParallelSpec
 from repro.workloads.models import get_model
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestMetrics:
@@ -91,6 +99,25 @@ class TestEvaluateBaseline:
         result = evaluate_baseline(BaselineScheme.MESP, "gmap", llama70b, wafer=wafer)
         assert not result.oom
         assert result.report.memory.total <= wafer.config.die.hbm.capacity
+
+
+class TestDownsample:
+    def test_keeps_both_endpoints(self):
+        specs = list(range(10))
+        for limit in (2, 3, 4, 7, 9):
+            sampled = downsample_specs(specs, limit)
+            assert len(sampled) == limit
+            assert sampled[0] == specs[0]
+            assert sampled[-1] == specs[-1], limit
+            assert sampled == sorted(set(sampled))  # strictly increasing
+
+    def test_limit_of_one_keeps_first(self):
+        assert downsample_specs(list(range(5)), 1) == [0]
+
+    def test_no_op_when_limit_covers_list(self):
+        specs = list(range(4))
+        assert downsample_specs(specs, 4) == specs
+        assert downsample_specs(specs, 10) == specs
 
 
 class TestTEMPFramework:
