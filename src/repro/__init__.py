@@ -35,6 +35,13 @@ Scenario API (the blessed request/response surface)
     and ``solve(scenario) -> SolverOutcome``; ``python -m repro plan`` is the
     CLI front end.
 
+Plan server (batched, cached, concurrent Scenario serving)
+    :class:`repro.server.PlanScheduler` (dedup + micro-batching over a
+    persistent worker pool), :class:`repro.server.ResultStore` (disk-backed,
+    keyed by :meth:`repro.api.Scenario.cache_key`),
+    :class:`repro.server.PlanServer` / :class:`repro.server.PlanClient`
+    (``repro serve`` / ``repro submit``).
+
 Framework (deprecated loose-kwargs entry points)
     :class:`repro.core.TEMP`, :func:`repro.core.evaluate_baseline`,
     :func:`repro.core.evaluate_multiwafer`, :func:`repro.core.evaluate_with_faults`.

@@ -22,6 +22,7 @@ over all registered experiment grids in ``tests/api/test_scenario.py``).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Sequence, Tuple
@@ -377,6 +378,27 @@ class Scenario:
             raise ScenarioError(f"invalid scenario JSON: {error}") from None
         return cls.from_dict(data)
 
+    def canonical_json(self) -> str:
+        """The canonical serialized form: sorted keys, no whitespace.
+
+        Two scenarios have the same canonical JSON iff they are equal, no
+        matter what key order their source documents used — this string is
+        what :meth:`cache_key` hashes.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"), allow_nan=False)
+
+    def cache_key(self) -> str:
+        """Stable content hash of this scenario (64 hex chars, SHA-256).
+
+        The key is derived from :meth:`canonical_json`, so it is invariant
+        to document key ordering and changes whenever any spec field
+        changes. It identifies a scenario across processes and restarts:
+        the plan server's dedup map and result store are keyed by it.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()
+
     # Convenience -----------------------------------------------------------------
 
     def with_fixed_spec(self, spec: ParallelSpec) -> "Scenario":
@@ -426,4 +448,11 @@ def _section_from_dict(section_cls, name: str, raw) -> object:
         raise ScenarioError(
             f"unknown {name} keys: {', '.join(unknown)}; valid: "
             f"{', '.join(sorted(known))}")
-    return section_cls(**raw)
+    try:
+        return section_cls(**raw)
+    except ScenarioError:
+        raise
+    except (TypeError, ValueError) as error:
+        # E.g. a wrong-typed field value ({"rows": "4"}) raising TypeError
+        # inside __post_init__ — still a document problem, not a crash.
+        raise ScenarioError(f"invalid {name} section: {error}") from None

@@ -299,6 +299,19 @@ class PlanService:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self._wafers: Dict[Tuple, WaferScaleChip] = {}
 
+    def stats(self) -> Dict[str, object]:
+        """Plain-JSON service counters.
+
+        ``plan_cache`` is :meth:`PlanCache.stats` (hit/miss/size),
+        ``wafers_cached`` the number of distinct hardware geometries
+        resolved. Surfaced by ``repro plan --stats`` and the plan server's
+        ``GET /metrics``.
+        """
+        return {
+            "plan_cache": self.plan_cache.stats(),
+            "wafers_cached": len(self._wafers),
+        }
+
     # Resolution caches ------------------------------------------------------------
 
     def wafer_for(self, hardware: HardwareSpec) -> WaferScaleChip:

@@ -108,6 +108,20 @@ class PlanCache:
             self._plans.popitem(last=False)
         return plan
 
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: ``hits``, ``misses``, ``entries``, ``max_entries``.
+
+        The persistence/metrics hook read by ``PlanService.stats()`` and the
+        plan server's ``GET /metrics`` — a plain-JSON dict, safe to ship
+        across process boundaries.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._plans),
+            "max_entries": self.max_entries,
+        }
+
     def clear(self) -> None:
         """Drop every cached plan and reset the counters."""
         self._plans.clear()

@@ -6,7 +6,11 @@ Sub-commands::
     repro run fig19 --reduced          # one figure, reduced grid
     repro run all --reduced --jobs 2   # full evaluation grid, 2 workers
     repro plan '<json>'                # evaluate one Scenario (or '-': stdin)
+    repro plan '[<json>, ...]'         # batch: array in, array out, one
+                                       # shared PlanService across the batch
     repro plan --file scenario.json --solve
+    repro serve --port 8099 --jobs 2   # long-lived batched/cached plan server
+    repro submit '<json>' --port 8099  # submit scenario(s) to a server
     repro check                        # every figure has a valid manifest
     repro docs [--check]               # (re)generate / verify EXPERIMENTS.md
 """
@@ -50,20 +54,75 @@ def build_parser() -> argparse.ArgumentParser:
 
     plan = sub.add_parser(
         "plan",
-        help="evaluate one Scenario API request (JSON) end to end")
+        help="evaluate Scenario API request(s) (JSON object or array) "
+             "end to end")
     plan.add_argument(
         "scenario", nargs="?", default=None,
-        help="scenario JSON document, or '-' to read it from stdin")
+        help="scenario JSON document (object, or array for batch mode), "
+             "or '-' to read it from stdin")
     plan.add_argument("--file", metavar="PATH",
                       help="read the scenario JSON from a file instead")
     plan.add_argument("--solve", action="store_true",
                       help="run the dual-level solver instead of the "
                            "evaluation path")
     plan.add_argument("--validate", action="store_true",
-                      help="schema-check the emitted result and fail on "
+                      help="schema-check the emitted result(s) and fail on "
                            "problems (used by the CI smoke step)")
+    plan.add_argument("--stats", action="store_true",
+                      help="print the PlanService counters (plan-cache "
+                           "hits/misses) to stderr after evaluating")
     plan.add_argument("--indent", type=int, default=2, metavar="N",
                       help="JSON output indentation (default: %(default)s)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived plan server (batched, deduplicated, "
+             "disk-cached Scenario serving over HTTP)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8099,
+                       help="bind port; 0 picks an ephemeral one "
+                            "(default: %(default)s)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="evaluation workers: 1 serves from one "
+                            "in-process PlanService, N>1 from a persistent "
+                            "process pool (default: %(default)s)")
+    serve.add_argument("--store", metavar="PATH", default=None,
+                       help="JSON-lines result store; repeated requests are "
+                            "served from it across restarts (default: "
+                            "memory only)")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       metavar="SECONDS",
+                       help="micro-batching window (default: %(default)s)")
+    serve.add_argument("--max-batch", type=int, default=16, metavar="N",
+                       help="requests per micro-batch cap "
+                            "(default: %(default)s)")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit scenario(s) to a running plan server")
+    submit.add_argument(
+        "scenario", nargs="?", default=None,
+        help="scenario JSON document (object, or array for batch mode), "
+             "or '-' to read it from stdin")
+    submit.add_argument("--file", metavar="PATH",
+                        help="read the scenario JSON from a file instead")
+    submit.add_argument("--host", default="127.0.0.1",
+                        help="plan server address (default: %(default)s)")
+    submit.add_argument("--port", type=int, default=8099,
+                        help="plan server port (default: %(default)s)")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="request timeout (default: %(default)s)")
+    submit.add_argument("--validate", action="store_true",
+                        help="schema-check the returned result(s) and fail "
+                             "on problems")
+    submit.add_argument("--expect-source",
+                        choices=("store", "inflight", "evaluated"),
+                        help="fail unless the (single) result was served "
+                             "from this path (used by the CI smoke step)")
+    submit.add_argument("--indent", type=int, default=2, metavar="N",
+                        help="JSON output indentation (default: %(default)s)")
 
     check = sub.add_parser(
         "check", help="validate that every registered figure has a manifest")
@@ -127,9 +186,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_request_text(args: argparse.Namespace) -> Optional[str]:
+    """The scenario JSON text of a ``plan``/``submit`` invocation."""
+    if args.file is not None:
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                return handle.read()
+        except OSError as error:
+            print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+            return None
+    if args.scenario in (None, "-"):
+        return sys.stdin.read()
+    return args.scenario
+
+
+def _validate_payloads(payloads: List[dict], batch: bool) -> int:
+    """Schema-check emitted result payloads; returns the exit status."""
+    from repro.api.service import validate_result_payload
+
+    status = 0
+    for index, payload in enumerate(payloads):
+        label = f"result[{index}]" if batch else "result"
+        if "error" in payload:
+            print(f"{label} is an error: {payload['error']}",
+                  file=sys.stderr)
+            status = 1
+            continue
+        for problem in validate_result_payload(payload):
+            print(f"invalid {label}: {problem}", file=sys.stderr)
+            status = 1
+    return status
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.api.scenario import Scenario
-    from repro.api.service import PlanService, validate_result_payload
+    from repro.api.service import PlanService
 
     if args.validate and args.solve:
         # SolverOutcome has its own (different) schema; there is no
@@ -138,41 +229,130 @@ def _cmd_plan(args: argparse.Namespace) -> int:
               "drop it or --solve", file=sys.stderr)
         return 2
 
-    if args.file is not None:
-        try:
-            with open(args.file, encoding="utf-8") as handle:
-                text = handle.read()
-        except OSError as error:
-            print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
-            return 2
-    elif args.scenario in (None, "-"):
-        text = sys.stdin.read()
-    else:
-        text = args.scenario
-
+    text = _read_request_text(args)
+    if text is None:
+        return 2
     try:
-        scenario = Scenario.from_json(text)
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"error: invalid scenario JSON: {error}", file=sys.stderr)
+        return 2
+
+    # A JSON array is batch mode: the offline twin of /v1/plan/batch — one
+    # PlanService (one PlanCache, one wafer per geometry) serves the batch.
+    batch = isinstance(document, list)
+    try:
+        scenarios = [Scenario.from_dict(item)
+                     for item in (document if batch else [document])]
         service = PlanService()
         if args.solve:
-            payload = service.solve(scenario).to_dict()
+            payloads = [service.solve(scenario).to_dict()
+                        for scenario in scenarios]
         else:
-            payload = service.evaluate(scenario).to_dict()
-    except (KeyError, ValueError) as error:
+            payloads = [service.evaluate(scenario).to_dict()
+                        for scenario in scenarios]
+    except (KeyError, TypeError, ValueError) as error:
         # ScenarioError (a ValueError) covers parse/validation problems;
-        # plain ValueError/KeyError covers evaluation-path failures (e.g. no
-        # feasible configuration) — report cleanly instead of a traceback.
+        # KeyError/TypeError/ValueError covers evaluation-path failures
+        # driven by the request (e.g. no feasible configuration, a
+        # wrong-typed field) — report cleanly instead of a traceback.
         message = error.args[0] if error.args else error
         print(f"error: {message}", file=sys.stderr)
         return 2
 
+    status = _validate_payloads(payloads, batch) if args.validate else 0
+    print(json.dumps(payloads if batch else payloads[0], indent=args.indent,
+                     sort_keys=True, allow_nan=False))
+    if args.stats:
+        print(json.dumps(service.stats(), sort_keys=True), file=sys.stderr)
+    return status
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server.http import PlanServer
+    from repro.server.scheduler import PlanScheduler
+    from repro.server.store import ResultStore
+
+    async def _serve() -> None:
+        scheduler = PlanScheduler(
+            store=ResultStore(args.store),
+            jobs=args.jobs,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+        )
+        server = PlanServer(scheduler, host=args.host, port=args.port)
+        await server.start()
+        print(f"plan server listening on http://{args.host}:{server.port} "
+              f"(jobs={args.jobs}, store={args.store or 'memory-only'})",
+              flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            # Drains queued and in-flight requests before the pool stops.
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("plan server stopped", file=sys.stderr)
+    except OSError as error:
+        print(f"error: cannot serve on {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.server.client import PlanClient, PlanServerError
+
+    text = _read_request_text(args)
+    if text is None:
+        return 2
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        print(f"error: invalid scenario JSON: {error}", file=sys.stderr)
+        return 2
+
+    batch = isinstance(document, list)
+    if args.expect_source and batch:
+        print("error: --expect-source only applies to a single scenario",
+              file=sys.stderr)
+        return 2
+
+    client = PlanClient(host=args.host, port=args.port,
+                        timeout=args.timeout)
+    try:
+        if batch:
+            payloads = client.plan_batch(document)
+        else:
+            payloads = [client.plan(document)]
+            print(f"served from: {client.last_source}", file=sys.stderr)
+    except PlanServerError as error:
+        detail = (error.payload.get("error", error.payload)
+                  if isinstance(error.payload, dict) else error.payload)
+        print(f"error: plan server returned {error.status}: {detail}",
+              file=sys.stderr)
+        return 2
+    except (OSError, TimeoutError) as error:
+        print(f"error: cannot reach plan server at "
+              f"{args.host}:{args.port}: {error}", file=sys.stderr)
+        return 2
+
     status = 0
+    if args.expect_source and client.last_source != args.expect_source:
+        print(f"error: expected the result to be served from "
+              f"{args.expect_source!r}, got {client.last_source!r}",
+              file=sys.stderr)
+        status = 1
     if args.validate:
-        problems = validate_result_payload(payload)
-        for problem in problems:
-            print(f"invalid result: {problem}", file=sys.stderr)
-        status = 1 if problems else 0
-    print(json.dumps(payload, indent=args.indent, sort_keys=True,
-                     allow_nan=False))
+        status = max(status, _validate_payloads(payloads, batch))
+    print(json.dumps(payloads if batch else payloads[0], indent=args.indent,
+                     sort_keys=True, allow_nan=False))
     return status
 
 
@@ -225,6 +405,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "docs":

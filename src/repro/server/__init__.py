@@ -1,0 +1,29 @@
+"""The plan server: batched, cached, concurrent Scenario serving.
+
+A long-lived front end over the Scenario API — requests are deduplicated
+and micro-batched by :class:`~repro.server.scheduler.PlanScheduler`, served
+across restarts from the :class:`~repro.server.store.ResultStore`, exposed
+over HTTP by :class:`~repro.server.http.PlanServer` (``repro serve``), and
+spoken to by :class:`~repro.server.client.PlanClient` (``repro submit``).
+
+Quick start::
+
+    $ python -m repro serve --port 8099 --store results/plan_store.jsonl &
+    $ echo '{"schema_version": 1, "workload": {"model": "gpt3-6.7b"}}' \\
+        | python -m repro submit - --port 8099
+"""
+
+from repro.server.client import PlanClient, PlanServerError
+from repro.server.http import PlanServer
+from repro.server.scheduler import PlanRequestError, PlanScheduler, error_payload
+from repro.server.store import ResultStore
+
+__all__ = [
+    "PlanClient",
+    "PlanRequestError",
+    "PlanScheduler",
+    "PlanServer",
+    "PlanServerError",
+    "ResultStore",
+    "error_payload",
+]

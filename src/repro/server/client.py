@@ -1,0 +1,134 @@
+"""Blocking stdlib client of the plan server's wire format.
+
+:class:`PlanClient` is what ``repro submit`` (and the CI server smoke step)
+uses: plain ``http.client`` requests against the four endpoints of
+:mod:`repro.server.http`, raising :class:`PlanServerError` with the
+structured error payload on non-2xx responses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.api.scenario import Scenario
+
+#: A request: either an already-built Scenario or its raw document.
+ScenarioLike = Union[Scenario, Dict[str, object]]
+
+
+class PlanServerError(RuntimeError):
+    """A non-2xx response; carries the server's structured error payload."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        detail = payload.get("error", payload) if isinstance(payload, dict) \
+            else payload
+        super().__init__(f"plan server returned {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class PlanClient:
+    """One plan-server endpoint (host, port) to submit scenarios to.
+
+    Attributes:
+        last_source: which path served the most recent :meth:`plan` call
+            (``"store"`` / ``"inflight"`` / ``"evaluated"``), from the
+            ``X-Repro-Source`` response header.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8099,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.last_source: Optional[str] = None
+
+    # Endpoints -------------------------------------------------------------------
+
+    def plan(self, scenario: ScenarioLike) -> Dict[str, object]:
+        """``POST /v1/plan``: one scenario -> one result payload."""
+        status, headers, payload = self._request(
+            "POST", "/v1/plan", _document(scenario))
+        self.last_source = headers.get("x-repro-source")
+        if status != 200:
+            raise PlanServerError(status, payload)
+        return payload
+
+    def plan_batch(
+            self, scenarios: List[ScenarioLike]) -> List[Dict[str, object]]:
+        """``POST /v1/plan/batch``: ordered payloads, errors inline."""
+        status, _, payload = self._request(
+            "POST", "/v1/plan/batch",
+            [_document(scenario) for scenario in scenarios])
+        if status != 200:
+            raise PlanServerError(status, payload)
+        return payload["results"]
+
+    def healthz(self) -> Dict[str, object]:
+        """``GET /healthz``."""
+        status, _, payload = self._request("GET", "/healthz")
+        if status != 200:
+            raise PlanServerError(status, payload)
+        return payload
+
+    def metrics(self) -> Dict[str, object]:
+        """``GET /metrics``: the scheduler's counter document."""
+        status, _, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise PlanServerError(status, payload)
+        return payload
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.1) -> bool:
+        """Poll ``/healthz`` until the server answers (or time runs out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.healthz()
+                return True
+            except (OSError, PlanServerError):
+                if time.monotonic() >= deadline:
+                    return False
+                time.sleep(interval)
+
+    # Transport -------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: object = None):
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            data = None
+            headers = {}
+            if body is not None:
+                data = json.dumps(body, allow_nan=False).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=data, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except socket.timeout as error:
+                raise TimeoutError(
+                    f"plan server at {self.host}:{self.port} timed out "
+                    f"after {self.timeout}s") from error
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {"error": {"type": "protocol",
+                                     "message": "non-JSON response body",
+                                     "status": response.status}}
+            headers_out = {name.lower(): value
+                           for name, value in response.getheaders()}
+            return response.status, headers_out, payload
+        finally:
+            connection.close()
+
+
+def _document(scenario: ScenarioLike) -> Dict[str, object]:
+    """A scenario (object or raw document) as its wire document."""
+    if isinstance(scenario, Scenario):
+        return scenario.to_dict()
+    return scenario

@@ -1,0 +1,442 @@
+"""The async micro-batching scheduler of the plan server.
+
+:class:`PlanScheduler` is the layer between a front end (the HTTP server,
+the CLI batch path) and the evaluation workers. One request travels::
+
+    submit(scenario)
+      -> cache_key()                 # canonical identity of the request
+      -> ResultStore.get(key)        # served across restarts without solving
+      -> in-flight dedup map         # identical concurrent requests share
+                                     # one evaluation (one future, N awaiters)
+      -> micro-batch queue           # requests arriving within batch_window
+                                     # are grouped before dispatch
+      -> hardware grouping           # same HardwareSpec -> one worker task,
+                                     # so the group shares the worker's
+                                     # resolved wafer and CostTables
+      -> worker pool                 # jobs=1: one in-process PlanService
+                                     # (single worker thread); jobs>1: a
+                                     # persistent ProcessPoolExecutor, one
+                                     # PlanService per worker — the PR 2
+                                     # orchestrator's shared-PlanCache
+                                     # pattern, kept warm across requests
+
+Evaluation is deterministic and the plan cache purely memoises, so a served
+payload is bit-identical to ``PlanService().evaluate(scenario).to_dict()``
+no matter which path produced it (pinned in ``tests/server/``).
+
+Malformed documents raise :class:`PlanRequestError`, whose ``payload`` is a
+structured ``{"error": {...}}`` document — front ends turn it into a 400,
+never a traceback. Evaluation failures (e.g. no feasible configuration)
+come back as the same error-payload shape and are *not* stored, so they
+don't poison the cross-restart cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import functools
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.api.scenario import Scenario, ScenarioError
+from repro.api.service import PlanService
+from repro.server.store import ResultStore
+
+#: Where a served payload came from (the trace of ``submit_traced``).
+SOURCES = ("store", "inflight", "evaluated")
+
+
+def error_payload(message: str, kind: str = "error",
+                  status: int = 400) -> Dict[str, object]:
+    """The structured error document every front end speaks."""
+    return {"error": {"type": kind, "message": message, "status": status}}
+
+
+class PlanRequestError(ValueError):
+    """A request that cannot be evaluated (bad document, server closing).
+
+    ``payload`` is the JSON error document to return to the caller;
+    ``status`` the HTTP-style status class it maps to.
+    """
+
+    def __init__(self, message: str, kind: str = "ScenarioError",
+                 status: int = 400) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.status = status
+
+    @property
+    def payload(self) -> Dict[str, object]:
+        return error_payload(str(self), kind=self.kind, status=self.status)
+
+
+# Worker-side evaluation ---------------------------------------------------------
+
+
+def _evaluate_doc(service: PlanService,
+                  doc: Mapping[str, object]) -> Dict[str, object]:
+    """One scenario document -> result payload (or structured error)."""
+    try:
+        scenario = Scenario.from_dict(doc)
+        return service.evaluate(scenario).to_dict()
+    except Exception as error:
+        # Contain any per-document failure here: one bad request must come
+        # back as its own structured error, never poison the co-batched
+        # requests of its group (which a raising evaluate_group would).
+        message = error.args[0] if error.args else error
+        return error_payload(str(message), kind=type(error).__name__,
+                             status=422)
+
+
+def evaluate_group(service: PlanService,
+                   docs: List[Dict[str, object]]) -> Tuple[
+                       List[Dict[str, object]], Dict[str, object]]:
+    """Evaluate one hardware-compatible group on one service.
+
+    Returns the per-document payloads plus a worker telemetry snapshot
+    (pid + plan-cache counters) the scheduler folds into ``stats()``.
+    """
+    payloads = [_evaluate_doc(service, doc) for doc in docs]
+    telemetry = {"pid": os.getpid(),
+                 "plan_cache": service.plan_cache.stats()}
+    return payloads, telemetry
+
+
+#: Per-process service of pool workers (the PR 2 orchestrator pattern: one
+#: shared PlanCache per worker, warm across every group the worker runs).
+_WORKER_SERVICE: Optional[PlanService] = None
+
+
+def _init_pool_worker() -> None:
+    """Pool initializer: one persistent PlanService per worker process."""
+    global _WORKER_SERVICE
+    _WORKER_SERVICE = PlanService()
+
+
+def _evaluate_group_in_worker(
+        docs: List[Dict[str, object]]) -> Tuple[
+            List[Dict[str, object]], Dict[str, object]]:
+    """Top-level (picklable) pool task: evaluate one group."""
+    global _WORKER_SERVICE
+    if _WORKER_SERVICE is None:
+        _WORKER_SERVICE = PlanService()
+    return evaluate_group(_WORKER_SERVICE, docs)
+
+
+# Scheduler ----------------------------------------------------------------------
+
+
+class PlanScheduler:
+    """Batched, deduplicated, cached scenario serving over a worker pool.
+
+    Args:
+        service: the shared in-process :class:`PlanService` (``jobs=1``
+            only; defaults to a fresh one). With ``jobs > 1`` each pool
+            worker owns its own service instead.
+        store: optional :class:`ResultStore` consulted before queueing and
+            fed after every successful evaluation. The scheduler owns it
+            (``close()`` closes it).
+        jobs: ``1`` evaluates in-process on a single worker thread;
+            ``N > 1`` fans groups out to a persistent process pool.
+        batch_window: seconds the batcher waits for more requests after the
+            first one of a batch arrives.
+        max_batch: requests per micro-batch cap.
+    """
+
+    def __init__(
+        self,
+        service: Optional[PlanService] = None,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        batch_window: float = 0.005,
+        max_batch: int = 16,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if service is not None and jobs != 1:
+            raise ValueError(
+                "a shared service only applies to jobs=1 (in-process) "
+                "scheduling; pool workers build their own")
+        self.jobs = jobs
+        self.batch_window = float(batch_window)
+        self.max_batch = max_batch
+        self.store = store
+        self.service = (service if service is not None else PlanService()) \
+            if jobs == 1 else None
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "deduped": 0,
+            "evaluations": 0,
+            "errors": 0,
+            "batches": 0,
+            "groups": 0,
+        }
+        self._latency_count = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._worker_stats: Dict[int, Dict[str, int]] = {}
+        self._queue: Optional[asyncio.Queue] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._dispatch_tasks: set = set()
+        self._executor = None
+        self._group_fn = None
+        self._started = False
+        self._closing = False
+
+    # Lifecycle -------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Create the queue, the worker pool, and the batcher task."""
+        if self._started:
+            return
+        self._queue = asyncio.Queue()
+        if self.jobs == 1:
+            # One worker thread serialises evaluation: PlanService is not
+            # thread-safe and a single in-process service is the point —
+            # every request shares its PlanCache and resolved wafers.
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="plan-worker")
+            self._group_fn = functools.partial(evaluate_group, self.service)
+        else:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_init_pool_worker)
+            self._group_fn = _evaluate_group_in_worker
+        self._batcher = asyncio.create_task(self._batch_loop())
+        self._started = True
+        self._closing = False
+
+    async def drain(self) -> None:
+        """Wait until every queued and in-flight request has resolved."""
+        while (self._queue is not None
+               and (not self._queue.empty() or self._dispatch_tasks
+                    or self._inflight)):
+            tasks = list(self._dispatch_tasks)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            else:
+                # Requests are sitting in the queue or the batcher's open
+                # window; give it a window's time to dispatch them.
+                await asyncio.sleep(max(self.batch_window, 0.001))
+
+    async def close(self) -> None:
+        """Drain, then stop the batcher and the worker pool (idempotent)."""
+        if not self._started:
+            return
+        self._closing = True
+        await self.drain()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self.store is not None:
+            self.store.close()
+        self._started = False
+
+    async def __aenter__(self) -> "PlanScheduler":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # Submission ------------------------------------------------------------------
+
+    async def submit(self, scenario: Scenario) -> Dict[str, object]:
+        """Serve one scenario; see :meth:`submit_traced`."""
+        payload, _ = await self.submit_traced(scenario)
+        return payload
+
+    async def submit_traced(
+            self, scenario: Scenario) -> Tuple[Dict[str, object], str]:
+        """Serve one scenario and report which path served it.
+
+        Returns:
+            ``(payload, source)`` with ``source`` one of :data:`SOURCES`:
+            ``"store"`` (cross-restart cache), ``"inflight"`` (deduplicated
+            onto an identical concurrent request), or ``"evaluated"``.
+
+        Raises:
+            PlanRequestError: when the scheduler is shutting down.
+            RuntimeError: when the scheduler was never started.
+        """
+        if not self._started or self._queue is None:
+            raise RuntimeError("PlanScheduler.start() was never awaited")
+        if self._closing:
+            raise PlanRequestError("plan server is shutting down",
+                                   kind="unavailable", status=503)
+        start = time.perf_counter()
+        self.counters["requests"] += 1
+        key = scenario.cache_key()
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                self._record_latency(start)
+                return stored, "store"
+        future = self._inflight.get(key)
+        if future is not None:
+            self.counters["deduped"] += 1
+            # shield(): one awaiter being cancelled must not cancel the
+            # shared evaluation every other awaiter is waiting on.
+            payload = copy.deepcopy(await asyncio.shield(future))
+            self._record_latency(start)
+            return payload, "inflight"
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._queue.put_nowait((key, scenario))
+        payload = copy.deepcopy(await asyncio.shield(future))
+        self._record_latency(start)
+        return payload, "evaluated"
+
+    async def submit_doc(self, doc: object) -> Dict[str, object]:
+        """Serve one raw scenario document; see :meth:`submit_doc_traced`."""
+        payload, _ = await self.submit_doc_traced(doc)
+        return payload
+
+    async def submit_doc_traced(
+            self, doc: object) -> Tuple[Dict[str, object], str]:
+        """Parse one raw document, then :meth:`submit_traced` it.
+
+        Raises:
+            PlanRequestError: on a malformed document (structured 400-style
+                ``payload``, never a traceback).
+        """
+        try:
+            scenario = Scenario.from_dict(doc)
+        except ScenarioError as error:
+            raise PlanRequestError(str(error)) from None
+        return await self.submit_traced(scenario)
+
+    async def submit_batch(
+            self, docs: List[object]) -> List[Dict[str, object]]:
+        """Serve a batch of raw documents concurrently, preserving order.
+
+        Invalid items become inline ``{"error": {...}}`` payloads instead
+        of failing the batch; an empty batch is a no-op returning ``[]``.
+        """
+        if not docs:
+            return []
+
+        async def _one(doc: object) -> Dict[str, object]:
+            try:
+                return await self.submit_doc(doc)
+            except PlanRequestError as request_error:
+                return request_error.payload
+
+        return list(await asyncio.gather(*(_one(doc) for doc in docs)))
+
+    # Batching and dispatch -------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Collect micro-batches from the queue and dispatch them."""
+        while True:
+            batch = [await self._queue.get()]
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(
+                        self._queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+            self.counters["batches"] += 1
+            # Dispatch concurrently: the batcher goes straight back to
+            # collecting while the pool evaluates this batch.
+            task = asyncio.create_task(self._dispatch(batch))
+            self._dispatch_tasks.add(task)
+            task.add_done_callback(self._dispatch_tasks.discard)
+
+    async def _dispatch(
+            self, batch: List[Tuple[str, Scenario]]) -> None:
+        """Group one batch by hardware spec and fan the groups out."""
+        groups: Dict[str, List[Tuple[str, Scenario]]] = {}
+        for key, scenario in batch:
+            hardware_key = json.dumps(scenario.to_dict()["hardware"],
+                                      sort_keys=True)
+            groups.setdefault(hardware_key, []).append((key, scenario))
+        self.counters["groups"] += len(groups)
+        await asyncio.gather(*(self._run_group(group)
+                               for group in groups.values()))
+
+    async def _run_group(
+            self, group: List[Tuple[str, Scenario]]) -> None:
+        """Evaluate one hardware-compatible group on one pool worker."""
+        docs = [scenario.to_dict() for _, scenario in group]
+        loop = asyncio.get_running_loop()
+        try:
+            payloads, telemetry = await loop.run_in_executor(
+                self._executor, self._group_fn, docs)
+        except Exception as error:  # pool/worker failure, not a bad request
+            failure = error_payload(f"evaluation worker failed: {error}",
+                                    kind=type(error).__name__, status=500)
+            payloads = [copy.deepcopy(failure) for _ in group]
+            telemetry = None
+        if telemetry is not None:
+            self._worker_stats[telemetry["pid"]] = telemetry["plan_cache"]
+        for (key, _), payload in zip(group, payloads):
+            if "error" in payload:
+                self.counters["errors"] += 1
+            else:
+                self.counters["evaluations"] += 1
+                if self.store is not None:
+                    self.store.put(key, payload)
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result(payload)
+
+    # Telemetry -------------------------------------------------------------------
+
+    def _record_latency(self, start: float) -> None:
+        elapsed = time.perf_counter() - start
+        self._latency_count += 1
+        self._latency_total += elapsed
+        self._latency_max = max(self._latency_max, elapsed)
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-JSON counter snapshot (the ``GET /metrics`` document)."""
+        if self.service is not None:
+            plan_cache = self.service.plan_cache.stats()
+        else:
+            # Pool mode: fold the latest per-worker snapshots (piggybacked
+            # on every group result) into one aggregate.
+            plan_cache = {"hits": 0, "misses": 0, "entries": 0,
+                          "max_entries": 0}
+            for snapshot in self._worker_stats.values():
+                for counter in plan_cache:
+                    plan_cache[counter] += snapshot[counter]
+        return {
+            "scheduler": {
+                **self.counters,
+                "jobs": self.jobs,
+                "max_batch": self.max_batch,
+                "batch_window_seconds": self.batch_window,
+                "inflight": len(self._inflight),
+            },
+            "store": ({"enabled": True, **self.store.stats()}
+                      if self.store is not None else {"enabled": False}),
+            "plan_cache": plan_cache,
+            "latency": {
+                "count": self._latency_count,
+                "total_seconds": self._latency_total,
+                "max_seconds": self._latency_max,
+                "mean_seconds": (self._latency_total / self._latency_count
+                                 if self._latency_count else 0.0),
+            },
+        }

@@ -1,0 +1,127 @@
+"""Disk-backed result store of the plan server, keyed by scenario hash.
+
+A :class:`ResultStore` maps a :meth:`Scenario.cache_key
+<repro.api.scenario.Scenario.cache_key>` to the serialized
+:class:`~repro.api.service.PlanResult` payload that scenario evaluated to.
+It is the server's cross-restart memory: the scheduler consults it before
+queueing work, so an identical request submitted after a restart is served
+without re-running the solver.
+
+The on-disk format is append-only JSON lines — one
+``{"key": <sha256>, "payload": {...}}`` document per line — chosen over a
+binary index because it is human-greppable, crash-tolerant (a torn final
+line is skipped on load, every earlier record survives), and trivially
+mergeable across hosts with ``cat``. The whole file is indexed into memory
+on open (payloads are small flat dicts); the last record for a key wins, so
+re-putting a key is an append, not a rewrite.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from typing import Dict, Optional
+
+#: Result-store counter names reported by :meth:`ResultStore.stats`.
+STORE_COUNTERS = ("hits", "misses", "writes")
+
+
+class ResultStore:
+    """Persistent ``scenario cache key -> result payload`` map with counters.
+
+    Args:
+        path: JSON-lines file backing the store. ``None`` keeps the store
+            in memory only (same interface, no persistence) — the mode the
+            offline ``repro plan`` batch path and most tests use.
+
+    Attributes:
+        hits: ``get`` calls that found a payload.
+        misses: ``get`` calls that found nothing.
+        writes: ``put`` calls (each is one appended line when disk-backed).
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._payloads: Dict[str, Dict[str, object]] = {}
+        self._handle = None
+        if self.path is not None:
+            self._load()
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        """Index every intact record of the backing file (last key wins)."""
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A torn trailing line from a crashed writer; every
+                        # complete record before it is still served.
+                        continue
+                    if (isinstance(record, dict)
+                            and isinstance(record.get("key"), str)
+                            and isinstance(record.get("payload"), dict)):
+                        self._payloads[record["key"]] = record["payload"]
+        except FileNotFoundError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._payloads
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key``, or ``None`` (counts hit/miss)."""
+        payload = self._payloads.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Callers get a private copy: a mutated response must not corrupt
+        # what later requests are served.
+        return copy.deepcopy(payload)
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        """Store (and, when disk-backed, durably append) one payload."""
+        payload = copy.deepcopy(payload)
+        self._payloads[key] = payload
+        self.writes += 1
+        if self._handle is not None:
+            record = json.dumps({"key": key, "payload": payload},
+                                sort_keys=True, allow_nan=False)
+            self._handle.write(record + "\n")
+            self._handle.flush()
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-JSON counter snapshot for ``GET /metrics``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "entries": len(self._payloads),
+            "persistent": self.path is not None,
+        }
+
+    def close(self) -> None:
+        """Flush and release the backing file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,121 @@
+"""Pins the ``Scenario.cache_key`` contract.
+
+The key is the identity the plan server's dedup map and result store are
+built on, so two properties are load-bearing: it is invariant to document
+key ordering, and it changes whenever *any* spec field changes (the
+alternative-value tables below are checked for exhaustiveness against the
+dataclass fields, so adding a spec field without extending them fails
+loudly here).
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro.api.scenario import (
+    HardwareSpec,
+    Scenario,
+    SolverSpec,
+    WorkloadSpec,
+)
+
+
+def _base() -> Scenario:
+    return Scenario(workload=WorkloadSpec(model="gpt3-6.7b"))
+
+
+#: One alternative (non-default, different-from-base) value per spec field.
+ALTERNATIVES = {
+    "workload": {
+        "model": "llama3-70b",
+        "hyperparams": {"num_layers": 4},
+        "batch_size": 16,
+        "seq_length": 1024,
+        "num_layers": 2,
+    },
+    "hardware": {
+        "platform": "gpu_cluster",
+        "rows": 2,
+        "cols": 4,
+        "d2d_bandwidth": 1e12,
+        "hbm_capacity": 2e9,
+        "base_mfu": 0.5,
+        "num_wafers": 2,
+        "num_microbatches": 8,
+        "link_fault_rate": 0.1,
+        "core_fault_rate": 0.2,
+    },
+    "solver": {
+        "scheme": "mesp",
+        "engine": "gmap",
+        "max_tatp": 16,
+        "pipeline_degrees": (1, 2),
+        "max_candidates": 6,
+        "num_finalists": 4,
+        "ga_generations": 3,
+        "seed": 7,
+        "fixed_spec": {"dp": 4},
+        "allow_checkpoint_fallback": False,
+    },
+}
+
+_SECTION_CLASSES = {"workload": WorkloadSpec, "hardware": HardwareSpec,
+                    "solver": SolverSpec}
+
+
+def test_alternative_tables_cover_every_spec_field():
+    """A new spec field must get an alternative value (and thus coverage)."""
+    for section, section_cls in _SECTION_CLASSES.items():
+        fields = {field.name for field in dataclasses.fields(section_cls)}
+        assert set(ALTERNATIVES[section]) == fields
+
+
+class TestStability:
+    def test_key_shape(self):
+        key = _base().cache_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_equal_scenarios_share_a_key(self):
+        assert _base().cache_key() == _base().cache_key()
+
+    def test_key_is_sha256_of_canonical_json(self):
+        scenario = _base()
+        expected = hashlib.sha256(
+            scenario.canonical_json().encode("utf-8")).hexdigest()
+        assert scenario.cache_key() == expected
+
+    def test_roundtrip_preserves_the_key(self):
+        scenario = _base()
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored.cache_key() == scenario.cache_key()
+
+    def test_invariant_to_document_key_ordering(self):
+        document = _base().to_dict()
+        shuffled = {
+            "solver": dict(reversed(list(document["solver"].items()))),
+            "hardware": dict(reversed(list(document["hardware"].items()))),
+            "schema_version": document["schema_version"],
+            "workload": dict(reversed(list(document["workload"].items()))),
+        }
+        assert Scenario.from_dict(shuffled).cache_key() == \
+            _base().cache_key()
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = _base().canonical_json()
+        assert ": " not in text and ", " not in text
+        assert json.loads(text) == _base().to_dict()
+
+
+@pytest.mark.parametrize(
+    "section,field_name",
+    [(section, field_name) for section, table in ALTERNATIVES.items()
+     for field_name in table])
+def test_any_field_change_changes_the_key(section, field_name):
+    base = _base()
+    replaced_section = dataclasses.replace(
+        getattr(base, section), **{field_name: ALTERNATIVES[section][field_name]})
+    changed = dataclasses.replace(base, **{section: replaced_section})
+    assert changed.cache_key() != base.cache_key()

@@ -78,6 +78,57 @@ class TestPlanCommand:
         assert "invalid fixed_spec" in capsys.readouterr().err
 
 
+class TestPlanBatchMode:
+    """`repro plan` with a JSON array: the offline twin of /v1/plan/batch."""
+
+    def test_array_in_array_out(self, capsys):
+        batch = json.dumps([json.loads(_reduced_scenario()),
+                            json.loads(_reduced_scenario(max_candidates=2))])
+        assert main(["plan", batch, "--validate"]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert isinstance(payloads, list) and len(payloads) == 2
+        for payload in payloads:
+            assert validate_result_payload(payload) == []
+            assert payload["model"] == "gpt3-6.7b"
+
+    def test_empty_array(self, capsys):
+        assert main(["plan", "[]", "--validate"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_batch_shares_one_plan_service(self, capsys):
+        # The same scenario twice: the second evaluation must hit the
+        # shared PlanCache, which --stats surfaces on stderr.
+        batch = json.dumps([json.loads(_reduced_scenario())] * 2)
+        assert main(["plan", batch, "--stats"]) == 0
+        captured = capsys.readouterr()
+        payloads = json.loads(captured.out)
+        assert payloads[0] == payloads[1]
+        stats = json.loads(captured.err.strip().splitlines()[-1])
+        assert stats["plan_cache"]["hits"] > 0
+
+    def test_invalid_item_exits_2(self, capsys):
+        batch = json.dumps([json.loads(_reduced_scenario()),
+                            {"schema_version": 99}])
+        assert main(["plan", batch]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_solve_batch(self, capsys):
+        batch = json.dumps(
+            [json.loads(_reduced_scenario(ga_generations=2))])
+        assert main(["plan", batch, "--solve"]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert len(payloads) == 1
+        assert payloads[0]["candidates_considered"] > 0
+
+
+def test_plan_stats_flag_reports_plan_cache_counters(capsys):
+    assert main(["plan", _reduced_scenario(), "--stats"]) == 0
+    captured = capsys.readouterr()
+    stats = json.loads(captured.err.strip().splitlines()[-1])
+    assert set(stats) == {"plan_cache", "wafers_cached"}
+    assert stats["plan_cache"]["misses"] > 0
+
+
 @pytest.mark.parametrize("fixture_kind", ["fault", "multiwafer"])
 def test_plan_covers_non_default_paths(fixture_kind, capsys):
     if fixture_kind == "fault":

@@ -135,6 +135,18 @@ class TestStrictness:
         with pytest.raises(ScenarioError, match="unknown model"):
             WorkloadSpec(model="gpt5").resolve()
 
+    @pytest.mark.parametrize("section,raw", [
+        ("hardware", {"rows": "4"}),          # TypeError inside validation
+        ("hardware", {"num_wafers": None}),
+        ("solver", {"pipeline_degrees": [1, "two"]}),
+    ])
+    def test_wrong_typed_field_values_become_scenario_errors(self, section,
+                                                             raw):
+        document = {"schema_version": SCHEMA_VERSION, section: raw}
+        with pytest.raises(ScenarioError,
+                           match=f"invalid {section} section"):
+            Scenario.from_dict(document)
+
 
 class TestResolution:
     def test_for_framework_dedups_scheme_resolution(self):

@@ -1,0 +1,250 @@
+"""Tests of the HTTP front end, the client, and the ``repro submit`` CLI.
+
+One real server (ephemeral port, disk-backed store, in-process worker) is
+started per test module in a background thread; tests talk to it with the
+blocking :class:`PlanClient` exactly like ``repro submit`` does.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.api.scenario import SCHEMA_VERSION, Scenario
+from repro.api.service import PlanService, validate_result_payload
+from repro.runner.cli import main
+from repro.server.client import PlanClient, PlanServerError
+from repro.server.http import PlanServer
+from repro.server.scheduler import PlanScheduler
+from repro.server.store import ResultStore
+
+
+def _doc(**overrides):
+    """A fast (~20 ms) single-wafer scenario document."""
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "workload": {"model": "gpt3-6.7b", "num_layers": 2, "batch_size": 8,
+                     "seq_length": 512},
+        "solver": {"scheme": "temp", "engine": "tcme", "max_candidates": 4},
+    }
+    document.update(overrides)
+    return document
+
+
+class _ServerHarness:
+    """A PlanServer running its own asyncio loop in a daemon thread."""
+
+    def __init__(self, store_path):
+        self._store_path = store_path
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self.port = None
+        self.error = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._thread_main,
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("plan server did not start in time")
+        if self.error is not None:
+            raise RuntimeError(f"plan server failed to start: {self.error}")
+
+    def _thread_main(self):
+        try:
+            asyncio.run(self._amain())
+        except Exception as error:  # surface startup failures to the test
+            self.error = error
+            self._ready.set()
+
+    async def _amain(self):
+        scheduler = PlanScheduler(store=ResultStore(self._store_path),
+                                  batch_window=0.002)
+        server = PlanServer(scheduler, host="127.0.0.1", port=0)
+        await server.start()
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.close()
+
+    def stop(self):
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    harness = _ServerHarness(
+        tmp_path_factory.mktemp("plan-server") / "store.jsonl")
+    harness.start()
+    yield harness
+    harness.stop()
+
+
+@pytest.fixture
+def client(server):
+    return PlanClient(port=server.port, timeout=60.0)
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        assert client.healthz() == {"status": "ok"}
+        assert client.wait_ready(timeout=1.0)
+
+    def test_plan_roundtrip_is_bit_identical_to_direct_evaluate(self,
+                                                                client):
+        document = _doc()
+        direct = PlanService().evaluate(
+            Scenario.from_dict(document)).to_dict()
+        served = client.plan(document)
+        assert served == direct
+        assert validate_result_payload(served) == []
+        assert client.last_source == "evaluated"
+
+    def test_repeat_is_served_from_store_and_counted(self, client):
+        document = _doc(solver={"scheme": "temp", "engine": "tcme",
+                                "max_candidates": 3})
+        first = client.plan(document)
+        assert client.last_source == "evaluated"
+        second = client.plan(document)
+        assert client.last_source == "store"
+        assert first == second
+        metrics = client.metrics()
+        assert metrics["store"]["hits"] >= 1
+        assert metrics["scheduler"]["requests"] >= 2
+        assert metrics["plan_cache"]["misses"] > 0
+        assert metrics["latency"]["count"] >= 2
+
+    def test_batch_endpoint_preserves_order_and_inlines_errors(self,
+                                                               client):
+        documents = [_doc(), {"schema_version": 99}, _doc()]
+        results = client.plan_batch(documents)
+        assert len(results) == 3
+        assert results[0]["model"] == "gpt3-6.7b"
+        assert results[1]["error"]["type"] == "ScenarioError"
+        assert results[2] == results[0]
+
+    def test_empty_batch(self, client):
+        assert client.plan_batch([]) == []
+
+    def test_scenario_objects_are_accepted(self, client):
+        scenario = Scenario.from_dict(_doc())
+        assert client.plan(scenario)["model"] == "gpt3-6.7b"
+        assert client.plan_batch([scenario])[0]["model"] == "gpt3-6.7b"
+
+
+class TestErrorHandling:
+    def test_malformed_scenario_is_a_structured_400(self, client):
+        with pytest.raises(PlanServerError) as excinfo:
+            client.plan({"schema_version": 99, "bogus": True})
+        assert excinfo.value.status == 400
+        error = excinfo.value.payload["error"]
+        assert error["type"] == "ScenarioError"
+        assert "Traceback" not in error["message"]
+
+    def test_wrong_typed_field_answers_400_not_dropped_connection(self,
+                                                                  client):
+        with pytest.raises(PlanServerError) as excinfo:
+            client.plan(_doc(hardware={"rows": "4"}))
+        assert excinfo.value.status == 400
+        assert "invalid hardware section" in \
+            excinfo.value.payload["error"]["message"]
+
+    def test_array_posted_to_single_plan_is_rejected(self, client):
+        status, _, payload = client._request("POST", "/v1/plan", [_doc()])
+        assert status == 400
+        assert "batch" in payload["error"]["message"]
+
+    def test_invalid_json_body_is_a_400(self, server):
+        connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                timeout=30)
+        try:
+            connection.request("POST", "/v1/plan", body=b"{not json",
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert payload["error"]["type"] == "protocol"
+
+    def test_unknown_route_is_a_404(self, client):
+        status, _, payload = client._request("GET", "/v2/unknown")
+        assert status == 404
+        assert payload["error"]["type"] == "not_found"
+
+    def test_wrong_method_is_a_405(self, client):
+        status, headers, payload = client._request("GET", "/v1/plan")
+        assert status == 405
+        assert headers.get("allow") == "POST"
+        assert payload["error"]["type"] == "method_not_allowed"
+
+    def test_non_batch_body_on_batch_route_is_a_400(self, client):
+        status, _, payload = client._request("POST", "/v1/plan/batch",
+                                             {"nope": 1})
+        assert status == 400
+        assert "array" in payload["error"]["message"]
+
+
+class TestSubmitCli:
+    def test_submit_single_and_repeat_sources(self, server, capsys):
+        document = json.dumps(_doc(solver={"scheme": "temp",
+                                           "engine": "tcme",
+                                           "max_candidates": 5}))
+        assert main(["submit", document, "--port", str(server.port),
+                     "--validate", "--expect-source", "evaluated"]) == 0
+        captured = capsys.readouterr()
+        assert "served from: evaluated" in captured.err
+        first = json.loads(captured.out)
+        assert validate_result_payload(first) == []
+
+        assert main(["submit", document, "--port", str(server.port),
+                     "--validate", "--expect-source", "store"]) == 0
+        captured = capsys.readouterr()
+        assert "served from: store" in captured.err
+        assert json.loads(captured.out) == first
+
+    def test_submit_wrong_expected_source_fails(self, server, capsys):
+        document = json.dumps(_doc())
+        main(["submit", document, "--port", str(server.port)])
+        capsys.readouterr()
+        assert main(["submit", document, "--port", str(server.port),
+                     "--expect-source", "evaluated"]) == 1
+        assert "expected the result" in capsys.readouterr().err
+
+    def test_submit_batch_array(self, server, capsys):
+        documents = json.dumps([_doc(), _doc()])
+        assert main(["submit", documents, "--port", str(server.port),
+                     "--validate"]) == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert isinstance(payloads, list) and len(payloads) == 2
+        assert payloads[0] == payloads[1]
+
+    def test_submit_malformed_scenario_exits_2(self, server, capsys):
+        assert main(["submit", '{"schema_version": 99}',
+                     "--port", str(server.port)]) == 2
+        assert "plan server returned 400" in capsys.readouterr().err
+
+    def test_submit_invalid_json_exits_2(self, server, capsys):
+        assert main(["submit", "{broken", "--port",
+                     str(server.port)]) == 2
+        assert "invalid scenario JSON" in capsys.readouterr().err
+
+    def test_submit_unreachable_server_exits_2(self, capsys):
+        assert main(["submit", json.dumps(_doc()), "--port", "1",
+                     "--timeout", "2"]) == 2
+        assert "cannot reach plan server" in capsys.readouterr().err
+
+    def test_expect_source_with_batch_is_rejected(self, server, capsys):
+        assert main(["submit", json.dumps([_doc()]), "--port",
+                     str(server.port), "--expect-source", "store"]) == 2
+        assert "only applies to a single scenario" in \
+            capsys.readouterr().err

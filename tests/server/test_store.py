@@ -1,0 +1,97 @@
+"""Tests of the disk-backed result store."""
+
+import json
+
+from repro.server.store import ResultStore
+
+KEY = "a" * 64
+OTHER_KEY = "b" * 64
+PAYLOAD = {"kind": "single_wafer", "model": "gpt3-6.7b", "step_time": 0.5}
+
+
+class TestMemoryStore:
+    def test_get_put_roundtrip_and_counters(self):
+        store = ResultStore(None)
+        assert store.get(KEY) is None
+        store.put(KEY, PAYLOAD)
+        assert store.get(KEY) == PAYLOAD
+        assert (store.hits, store.misses, store.writes) == (1, 1, 1)
+        assert len(store) == 1
+        assert KEY in store
+        assert OTHER_KEY not in store
+
+    def test_returned_payload_is_isolated(self):
+        store = ResultStore(None)
+        store.put(KEY, PAYLOAD)
+        served = store.get(KEY)
+        served["step_time"] = -1.0
+        assert store.get(KEY)["step_time"] == PAYLOAD["step_time"]
+
+    def test_put_copies_its_argument(self):
+        store = ResultStore(None)
+        payload = dict(PAYLOAD)
+        store.put(KEY, payload)
+        payload["step_time"] = -1.0
+        assert store.get(KEY)["step_time"] == PAYLOAD["step_time"]
+
+    def test_stats_document(self):
+        store = ResultStore(None)
+        store.put(KEY, PAYLOAD)
+        store.get(KEY)
+        store.get(OTHER_KEY)
+        assert store.stats() == {"hits": 1, "misses": 1, "writes": 1,
+                                 "entries": 1, "persistent": False}
+
+
+class TestDiskStore:
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            store.put(KEY, PAYLOAD)
+        with ResultStore(path) as reopened:
+            assert reopened.get(KEY) == PAYLOAD
+            assert reopened.stats()["persistent"] is True
+            # Counters are per-process, not persisted.
+            assert reopened.writes == 0
+
+    def test_last_write_wins(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            store.put(KEY, {"step_time": 1.0})
+            store.put(KEY, {"step_time": 2.0})
+        with ResultStore(path) as reopened:
+            assert reopened.get(KEY) == {"step_time": 2.0}
+            assert len(reopened) == 1
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            store.put(KEY, PAYLOAD)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "' + OTHER_KEY + '", "payl')  # torn write
+        with ResultStore(path) as reopened:
+            assert reopened.get(KEY) == PAYLOAD
+            assert reopened.get(OTHER_KEY) is None
+
+    def test_non_record_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('\n[1, 2]\n{"key": 7, "payload": {}}\n'
+                        + json.dumps({"key": KEY, "payload": PAYLOAD}) + "\n")
+        with ResultStore(path) as store:
+            assert store.get(KEY) == PAYLOAD
+            assert len(store) == 1
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        with ResultStore(tmp_path / "fresh.jsonl") as store:
+            assert len(store) == 0
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "store.jsonl"
+        with ResultStore(path) as store:
+            store.put(KEY, PAYLOAD)
+        assert path.exists()
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.close()
+        store.close()
