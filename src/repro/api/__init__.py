@@ -10,13 +10,27 @@ Quick start::
     print(result.spec, result.step_time, result.throughput)
 
 Every entry point — the experiment cell runners, ``python -m repro plan``,
-and future server front-ends — speaks this request/response shape.
+and the plan server — speaks this request/response shape. Scenario
+*families* (model zoo x geometry x scheme grids) are described by
+:class:`~repro.api.portfolio.Portfolio` and swept through the plan server's
+portfolio engine (``repro sweep``).
 
 The service classes are imported lazily (PEP 562): the scenario tree has no
 dependency on :mod:`repro.core`, so core modules may import
 ``repro.api.scenario`` without a cycle.
 """
 
+from repro.api.portfolio import (  # noqa: F401
+    Portfolio,
+    PortfolioAxis,
+    PortfolioError,
+    PortfolioPoint,
+    RegisteredPortfolio,
+    get_portfolio,
+    portfolio_from_scenarios,
+    portfolio_names,
+    register_portfolio,
+)
 from repro.api.scenario import (  # noqa: F401
     SCHEMA_VERSION,
     HardwareSpec,
@@ -32,10 +46,19 @@ _SERVICE_EXPORTS = ("PlanService", "PlanResult", "SolverOutcome",
 __all__ = [
     "SCHEMA_VERSION",
     "HardwareSpec",
+    "Portfolio",
+    "PortfolioAxis",
+    "PortfolioError",
+    "PortfolioPoint",
+    "RegisteredPortfolio",
     "Scenario",
     "ScenarioError",
     "SolverSpec",
     "WorkloadSpec",
+    "get_portfolio",
+    "portfolio_from_scenarios",
+    "portfolio_names",
+    "register_portfolio",
     *_SERVICE_EXPORTS,
 ]
 

@@ -40,6 +40,10 @@ from repro.experiments import fig19_multiwafer  # noqa: F401
 from repro.experiments import fig20_fault_tolerance  # noqa: F401
 from repro.experiments import fig21_cost_model  # noqa: F401
 from repro.experiments import search_time  # noqa: F401
+
+# Importing the portfolios module re-registers the sweepable grids with the
+# portfolio registry (repro.api.portfolio).
+from repro.experiments import portfolios  # noqa: F401
 from repro.runner import registry as _registry
 
 

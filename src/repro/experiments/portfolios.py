@@ -1,0 +1,208 @@
+"""Experiment grids re-expressed as registered portfolios.
+
+Each builder here maps one registered figure's grid onto a
+:class:`~repro.api.portfolio.Portfolio` whose expansion visits exactly the
+scenarios the orchestrator path evaluates, in exactly the orchestrator's
+row order; the paired row mappers reproduce the figure's manifest-row
+columns from the served :class:`~repro.api.service.PlanResult` payloads.
+``repro sweep fig13 --reduced`` therefore emits a manifest row-identical to
+``repro run fig13 --reduced`` — pinned in ``tests/server/test_portfolio.py``
+and the CI sweep smoke.
+
+Three grid shapes are covered to prove the abstraction:
+
+* ``fig13`` — a plain cartesian product (model x system), where the system
+  axis swaps the whole solver section under a readable label;
+* ``fig17`` — a zipped expansion enumerating pinned parallel configs, with
+  annotation axes carrying the per-config row columns;
+* ``fig19`` — a zipped product whose hardware (wafer count) is a function
+  of the model axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.api.portfolio import Portfolio, PortfolioAxis, register_portfolio
+from repro.experiments.fig13_overall import (
+    FAST_MODELS,
+    SYSTEMS,
+    scenario_for_system,
+)
+from repro.experiments.fig17_parallel_configs import (
+    FIG17_SEQ_LENGTHS,
+    enumerate_configs,
+    scenario_for_sweep,
+)
+from repro.experiments.fig19_multiwafer import (
+    MULTI_WAFER_GRID,
+    MULTI_WAFER_MODELS,
+    scenario_for_multiwafer,
+)
+from repro.workloads.models import TABLE_II_MODELS
+
+
+def _solver_doc(scenario) -> Dict[str, object]:
+    """The solver section of one scenario document."""
+    return scenario.to_dict()["solver"]
+
+
+def fig13_row(params: Mapping[str, object],
+              payload: Mapping[str, object]) -> Dict[str, object]:
+    """One Fig. 13 manifest row from a served plan payload."""
+    return {
+        "spec": payload["spec"] if payload["spec"] else "-",
+        "oom": payload["oom"],
+        "step_time": payload["step_time"],
+        "compute_time": payload["compute_time"],
+        "comm_time": payload["comm_time"],
+        "memory_gb": payload["memory_gb"],
+        "throughput": payload["throughput"],
+        "power_efficiency": payload["power_efficiency"],
+    }
+
+
+@register_portfolio(
+    name="fig13",
+    figure="fig13",
+    row=fig13_row,
+    description="Overall comparison: Table II models x 7 systems "
+                "(cartesian, solver-section axis)")
+def fig13_portfolio(reduced: bool = False) -> Portfolio:
+    """Model x system product of Fig. 13 (model outermost, like the grid)."""
+    models = list(FAST_MODELS if reduced else TABLE_II_MODELS)
+    solver_docs = [_solver_doc(scenario_for_system(models[0], system))
+                   for system in SYSTEMS]
+    return Portfolio(
+        name="fig13",
+        description="Fig. 13 overall training-performance comparison",
+        axes=(
+            PortfolioAxis(name="model", path="workload.model",
+                          values=tuple(models)),
+            PortfolioAxis(name="system", path="solver",
+                          values=tuple(solver_docs),
+                          labels=tuple(SYSTEMS)),
+        ),
+    )
+
+
+def fig17_row(params: Mapping[str, object],
+              payload: Mapping[str, object]) -> Dict[str, object]:
+    """One Fig. 17 manifest row from a served plan payload."""
+    return {
+        "throughput": payload["throughput"],
+        "step_time": payload["step_time"],
+        "memory_gb": payload["memory_gb"],
+        "oom": payload["oom"],
+    }
+
+
+@register_portfolio(
+    name="fig17",
+    figure="fig17",
+    row=fig17_row,
+    description="Every (DP, TP, SP, TATP) configuration of Llama2 7B "
+                "(zipped fixed-spec axis)")
+def fig17_portfolio(reduced: bool = False) -> Portfolio:
+    """Zipped enumeration of every pinned configuration of Fig. 17."""
+    seq_lengths = [2048] if reduced else list(FIG17_SEQ_LENGTHS)
+    columns: Dict[str, List[object]] = {
+        "model": [], "seq_length": [], "config": [], "dp": [], "tp": [],
+        "sp": [], "tatp": [], "workload": [], "solver": [],
+    }
+    for model in ["llama2-7b"]:
+        for seq_length in seq_lengths:
+            base = scenario_for_sweep(model, seq_length)
+            resolved = base.workload.resolve()
+            for spec in enumerate_configs(base.hardware.num_dies):
+                if spec.tp > resolved.num_heads:
+                    continue
+                pinned = base.with_fixed_spec(spec).to_dict()
+                columns["model"].append(model)
+                columns["seq_length"].append(seq_length)
+                columns["config"].append(
+                    f"({spec.dp},{spec.tp},{spec.sp},{spec.tatp})")
+                columns["dp"].append(spec.dp)
+                columns["tp"].append(spec.tp)
+                columns["sp"].append(spec.sp)
+                columns["tatp"].append(spec.tatp)
+                columns["workload"].append(pinned["workload"])
+                columns["solver"].append(pinned["solver"])
+    return Portfolio(
+        name="fig17",
+        description="Fig. 17 mixed-parallelism configuration sweep",
+        expansion="zip",
+        axes=(
+            PortfolioAxis(name="model", values=tuple(columns["model"])),
+            PortfolioAxis(name="seq_length",
+                          values=tuple(columns["seq_length"])),
+            PortfolioAxis(name="config", values=tuple(columns["config"])),
+            PortfolioAxis(name="dp", values=tuple(columns["dp"])),
+            PortfolioAxis(name="tp", values=tuple(columns["tp"])),
+            PortfolioAxis(name="sp", values=tuple(columns["sp"])),
+            PortfolioAxis(name="tatp", values=tuple(columns["tatp"])),
+            PortfolioAxis(name="workload", path="workload", record=False,
+                          values=tuple(columns["workload"])),
+            PortfolioAxis(name="solver", path="solver", record=False,
+                          values=tuple(columns["solver"])),
+        ),
+    )
+
+
+def fig19_row(params: Mapping[str, object],
+              payload: Mapping[str, object]) -> Dict[str, object]:
+    """One Fig. 19 manifest row from a served plan payload."""
+    return {
+        "num_wafers": payload["num_wafers"],
+        "spec": payload["spec"] if payload["spec"] else "-",
+        "pp_degree": payload["pp_degree"],
+        "step_time": payload["step_time"],
+        "compute_time": payload["compute_time"],
+        "comm_time": payload["comm_time"],
+        "bubble_time": payload["bubble_time"],
+        "throughput": payload["throughput"],
+        "oom": payload["oom"],
+    }
+
+
+@register_portfolio(
+    name="fig19",
+    figure="fig19",
+    row=fig19_row,
+    description="Multi-wafer scalability: pipelined models x 7 systems "
+                "(zipped, model-dependent wafer count)")
+def fig19_portfolio(reduced: bool = False) -> Portfolio:
+    """Zipped model x system grid of Fig. 19.
+
+    The wafer count rides along as an unrecorded hardware axis because it
+    is a function of the model (GPT-3 175B spans two wafers, Grok-1 and
+    Llama3 405B four, GPT-3 504B six) — exactly what a cartesian product
+    cannot express.
+    """
+    models = ["gpt3-175b"] if reduced else list(MULTI_WAFER_MODELS)
+    systems = [label for _, _, label in MULTI_WAFER_GRID]
+    columns: Dict[str, List[object]] = {
+        "model": [], "system": [], "solver": [], "num_wafers": [],
+    }
+    for model in models:
+        for system in systems:
+            document = scenario_for_multiwafer(model, system).to_dict()
+            columns["model"].append(model)
+            columns["system"].append(system)
+            columns["solver"].append(document["solver"])
+            columns["num_wafers"].append(document["hardware"]["num_wafers"])
+    return Portfolio(
+        name="fig19",
+        description="Fig. 19 multi-wafer scalability study",
+        expansion="zip",
+        axes=(
+            PortfolioAxis(name="model", path="workload.model",
+                          values=tuple(columns["model"])),
+            PortfolioAxis(name="system", path="solver",
+                          values=tuple(columns["solver"]),
+                          labels=tuple(columns["system"])),
+            PortfolioAxis(name="num_wafers", path="hardware.num_wafers",
+                          record=False,
+                          values=tuple(columns["num_wafers"])),
+        ),
+    )

@@ -11,6 +11,10 @@ Sub-commands::
     repro plan --file scenario.json --solve
     repro serve --port 8099 --jobs 2   # long-lived batched/cached plan server
     repro submit '<json>' --port 8099  # submit scenario(s) to a server
+    repro sweep fig13 --reduced        # registered portfolio -> manifest
+    repro sweep fig13 --server 127.0.0.1:8099   # same sweep, remote
+    repro sweep --file portfolio.json  # ad-hoc portfolio document
+    repro sweep --list                 # registered portfolios
     repro check                        # every figure has a valid manifest
     repro docs [--check]               # (re)generate / verify EXPERIMENTS.md
 """
@@ -123,6 +127,42 @@ def build_parser() -> argparse.ArgumentParser:
                              "from this path (used by the CI smoke step)")
     submit.add_argument("--indent", type=int, default=2, metavar="N",
                         help="JSON output indentation (default: %(default)s)")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a portfolio (a named family of scenarios) through the "
+             "plan scheduler and emit a validated manifest")
+    sweep.add_argument(
+        "portfolio", nargs="?", default=None,
+        help="registered portfolio name (see --list), e.g. 'fig13'")
+    sweep.add_argument("--file", metavar="PATH",
+                       help="read an ad-hoc portfolio JSON document instead "
+                            "of a registered name")
+    sweep.add_argument("--list", action="store_true", dest="list_portfolios",
+                       help="list the registered portfolios and exit")
+    sweep.add_argument("--reduced", action="store_true",
+                       help="build the reduced (CI fidelity) portfolio")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="local evaluation workers (default: %(default)s; "
+                            "ignored with --server)")
+    sweep.add_argument("--server", metavar="URL", default=None,
+                       help="sweep via a running plan server "
+                            "('HOST:PORT' or 'http://HOST:PORT') instead of "
+                            "a local scheduler")
+    sweep.add_argument("--store", metavar="PATH", default=None,
+                       help="JSON-lines result store for the local "
+                            "scheduler (repeats served across sweeps)")
+    sweep.add_argument("--output-dir", default=DEFAULT_OUTPUT_DIR,
+                       help="manifest directory (default: %(default)s)")
+    sweep.add_argument("--no-write", action="store_true",
+                       help="run without writing the manifest")
+    sweep.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                       help="server-mode progress poll interval "
+                            "(default: %(default)s)")
+    sweep.add_argument("--timeout", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="server-mode overall deadline "
+                            "(default: %(default)s)")
 
     check = sub.add_parser(
         "check", help="validate that every registered figure has a manifest")
@@ -356,6 +396,177 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return status
 
 
+def _parse_server_url(url: str):
+    """``--server`` value -> ``(host, port)``; None on a malformed value."""
+    from urllib.parse import urlparse
+
+    target = url if "//" in url else f"//{url}"
+    try:
+        parsed = urlparse(target)
+        host, port = parsed.hostname, parsed.port
+    except ValueError:
+        return None
+    if not host:
+        return None
+    return host, port if port is not None else 8099
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.api.portfolio import (
+        Portfolio,
+        PortfolioError,
+        get_portfolio,
+        portfolio_names,
+    )
+    from repro.server.portfolio import (
+        MAX_POINTS,
+        build_sweep_manifest,
+        run_portfolio_local,
+    )
+
+    if args.list_portfolios:
+        names = portfolio_names()
+        if not names:
+            print("no registered portfolios")
+            return 0
+        width = max(len(name) for name in names)
+        for name in names:
+            template = get_portfolio(name)
+            portfolio = template.build(args.reduced)
+            figure = template.figure or "-"
+            print(f"{name:<{width}}  figure={figure:<8} "
+                  f"{portfolio.num_points():>5} points  "
+                  f"{template.description}")
+        return 0
+
+    if (args.portfolio is None) == (args.file is None):
+        print("error: give exactly one of a registered portfolio name or "
+              "--file PATH (or --list)", file=sys.stderr)
+        return 2
+
+    # Resolve the portfolio (and, for registered ones, the figure whose
+    # manifest identity and row schema the sweep reproduces).
+    template = None
+    experiment = None
+    try:
+        if args.file is not None:
+            with open(args.file, encoding="utf-8") as handle:
+                portfolio = Portfolio.from_json(handle.read())
+        else:
+            template = get_portfolio(args.portfolio)
+            portfolio = template.build(args.reduced)
+        points = portfolio.expand(max_points=MAX_POINTS)
+    except OSError as error:
+        print(f"error: cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except PortfolioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if template is not None and template.figure is not None:
+        experiment = registry.get_experiment(template.figure)
+
+    print(f"sweep {portfolio.describe()}")
+    start = time.perf_counter()
+    if args.server is not None:
+        outcomes = _sweep_via_server(args, portfolio, points)
+        if outcomes is None:
+            return 2
+        mode, jobs = "server", 0
+    else:
+        def _progress(completed, total, outcome):
+            params = ", ".join(f"{key}={value}"
+                               for key, value in outcome.params.items())
+            print(f"  [{portfolio.name}] {completed}/{total}: {params} "
+                  f"({outcome.wall_seconds:.2f}s, {outcome.source})")
+
+        try:
+            outcomes = run_portfolio_local(
+                portfolio, jobs=args.jobs, store=_sweep_store(args),
+                points=points, on_unique=_progress)
+        except PortfolioError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        mode, jobs = "local", args.jobs
+    total_seconds = time.perf_counter() - start
+
+    manifest = build_sweep_manifest(
+        portfolio, outcomes, reduced=args.reduced, jobs=jobs,
+        total_seconds=total_seconds, mode=mode, experiment=experiment,
+        row_builder=template.row if template is not None else None)
+    problems = manifest_module.validate_manifest(manifest, experiment)
+    errors = sum(1 for cell in manifest["cells"] if cell["error"])
+    oom = sum(cell["oom_rows"] for cell in manifest["cells"])
+    print(f"  -> {len(manifest['rows'])} rows, {oom} OOM, {errors} errors, "
+          f"{manifest['sweep']['unique']}/{manifest['sweep']['points']} "
+          f"unique, {total_seconds:.2f}s total")
+    status = 0
+    for problem in problems:
+        print(f"  !! {problem}", file=sys.stderr)
+        status = 1
+    if not args.no_write:
+        path = manifest_module.write_manifest(manifest, args.output_dir)
+        print(f"  wrote {path}")
+    return status
+
+
+def _sweep_store(args: argparse.Namespace):
+    if args.store is None:
+        return None
+    from repro.server.store import ResultStore
+
+    return ResultStore(args.store)
+
+
+def _sweep_via_server(args: argparse.Namespace, portfolio, points):
+    """Run one sweep through a live plan server; None on failure."""
+    from repro.server.client import PlanClient, PlanServerError
+    from repro.server.portfolio import PointOutcome
+
+    location = _parse_server_url(args.server)
+    if location is None:
+        print(f"error: malformed --server value {args.server!r}; expected "
+              f"HOST:PORT or http://HOST:PORT", file=sys.stderr)
+        return None
+    host, port = location
+
+    def _progress(status):
+        print(f"  [{portfolio.name}] {status['completed']}/"
+              f"{status['unique']} unique evaluated "
+              f"({status['elapsed_seconds']:.2f}s)")
+
+    client = PlanClient(host=host, port=port, timeout=args.timeout)
+    try:
+        status = client.sweep(portfolio, poll_interval=args.poll,
+                              timeout=args.timeout, progress=_progress)
+    except PlanServerError as error:
+        detail = (error.payload.get("error", error.payload)
+                  if isinstance(error.payload, dict) else error.payload)
+        print(f"error: plan server returned {error.status}: {detail}",
+              file=sys.stderr)
+        return None
+    except (OSError, TimeoutError) as error:
+        print(f"error: cannot sweep via plan server at {host}:{port}: "
+              f"{error}", file=sys.stderr)
+        return None
+
+    # Reassemble point outcomes from the parallel response arrays; the
+    # local expansion pins the params (the server expanded identically —
+    # expansion is deterministic and validated server-side too).
+    outcomes = []
+    for point, payload, source, wall in zip(
+            points, status["results"], status["sources"],
+            status["wall_seconds"]):
+        outcomes.append(PointOutcome(
+            index=point.index, params=point.params, payload=payload,
+            source=source, wall_seconds=wall, key=point.cache_key()))
+    return outcomes
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     status = 0
     for experiment in registry.all_experiments():
@@ -409,6 +620,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "docs":

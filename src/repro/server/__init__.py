@@ -15,6 +15,13 @@ Quick start::
 
 from repro.server.client import PlanClient, PlanServerError
 from repro.server.http import PlanServer
+from repro.server.portfolio import (
+    PointOutcome,
+    PortfolioManager,
+    build_sweep_manifest,
+    run_portfolio_local,
+    sweep_portfolio,
+)
 from repro.server.scheduler import PlanRequestError, PlanScheduler, error_payload
 from repro.server.store import ResultStore
 
@@ -24,6 +31,11 @@ __all__ = [
     "PlanScheduler",
     "PlanServer",
     "PlanServerError",
+    "PointOutcome",
+    "PortfolioManager",
     "ResultStore",
+    "build_sweep_manifest",
     "error_payload",
+    "run_portfolio_local",
+    "sweep_portfolio",
 ]

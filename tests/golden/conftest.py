@@ -1,0 +1,33 @@
+"""Options of the golden-manifest regression tests.
+
+The refresh flow (after an intentional result change)::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-goldens
+    git diff tests/golden/goldens/   # review the new numbers, then commit
+
+``--update-goldens`` is registered here, so it is available whenever
+``tests/golden`` is part of the initial command-line arguments (the
+documented invocation above). ``REPRO_UPDATE_GOLDENS=1`` works from any
+invocation as an environment fallback.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/golden/goldens/*.json from a fresh reduced run "
+             "instead of asserting against them")
+
+
+@pytest.fixture
+def update_goldens(request):
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        return True
+    try:
+        return request.config.getoption("--update-goldens")
+    except ValueError:
+        return False

@@ -1,24 +1,21 @@
 """Tests of the HTTP front end, the client, and the ``repro submit`` CLI.
 
-One real server (ephemeral port, disk-backed store, in-process worker) is
-started per test module in a background thread; tests talk to it with the
-blocking :class:`PlanClient` exactly like ``repro submit`` does.
+The module-scoped ``server`` fixture (``tests/server/conftest.py``) runs one
+real server on an ephemeral port; tests talk to it with the blocking
+:class:`PlanClient` exactly like ``repro submit`` does.
 """
 
-import asyncio
 import http.client
 import json
-import threading
 
 import pytest
 
 from repro.api.scenario import SCHEMA_VERSION, Scenario
 from repro.api.service import PlanService, validate_result_payload
 from repro.runner.cli import main
-from repro.server.client import PlanClient, PlanServerError
-from repro.server.http import PlanServer
-from repro.server.scheduler import PlanScheduler
-from repro.server.store import ResultStore
+from repro.server.client import PlanServerError
+
+pytestmark = pytest.mark.slow  # every test drives a live server
 
 
 def _doc(**overrides):
@@ -31,67 +28,6 @@ def _doc(**overrides):
     }
     document.update(overrides)
     return document
-
-
-class _ServerHarness:
-    """A PlanServer running its own asyncio loop in a daemon thread."""
-
-    def __init__(self, store_path):
-        self._store_path = store_path
-        self._ready = threading.Event()
-        self._loop = None
-        self._stop = None
-        self.port = None
-        self.error = None
-
-    def start(self):
-        self._thread = threading.Thread(target=self._thread_main,
-                                        daemon=True)
-        self._thread.start()
-        if not self._ready.wait(timeout=30):
-            raise RuntimeError("plan server did not start in time")
-        if self.error is not None:
-            raise RuntimeError(f"plan server failed to start: {self.error}")
-
-    def _thread_main(self):
-        try:
-            asyncio.run(self._amain())
-        except Exception as error:  # surface startup failures to the test
-            self.error = error
-            self._ready.set()
-
-    async def _amain(self):
-        scheduler = PlanScheduler(store=ResultStore(self._store_path),
-                                  batch_window=0.002)
-        server = PlanServer(scheduler, host="127.0.0.1", port=0)
-        await server.start()
-        self.port = server.port
-        self._loop = asyncio.get_running_loop()
-        self._stop = asyncio.Event()
-        self._ready.set()
-        try:
-            await self._stop.wait()
-        finally:
-            await server.close()
-
-    def stop(self):
-        if self._loop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
-        self._thread.join(timeout=30)
-
-
-@pytest.fixture(scope="module")
-def server(tmp_path_factory):
-    harness = _ServerHarness(
-        tmp_path_factory.mktemp("plan-server") / "store.jsonl")
-    harness.start()
-    yield harness
-    harness.stop()
-
-
-@pytest.fixture
-def client(server):
-    return PlanClient(port=server.port, timeout=60.0)
 
 
 class TestEndpoints:

@@ -221,6 +221,28 @@ class TestErrors:
 
 
 class TestLifecycle:
+    def test_drain_settles_queued_requests_without_sleeping(self):
+        # drain() is the synchronisation point tests (and shutdown) use
+        # instead of sleeping: after it resolves, every submitted request
+        # has its result and nothing is in flight.
+        documents = [_doc(solver={"scheme": "temp", "engine": "tcme",
+                                  "max_candidates": candidates})
+                     for candidates in (2, 3)]
+
+        async def scenario():
+            async with PlanScheduler(batch_window=0.05) as scheduler:
+                pending = [
+                    asyncio.ensure_future(scheduler.submit_doc(document))
+                    for document in documents]
+                await asyncio.sleep(0)  # let the submissions hit the queue
+                await scheduler.drain()
+                assert all(task.done() for task in pending)
+                assert not scheduler._inflight
+                return [task.result() for task in pending]
+
+        payloads = _run(scenario())
+        assert all("error" not in payload for payload in payloads)
+
     def test_submit_before_start_raises(self):
         async def scenario():
             await PlanScheduler().submit_doc(_doc())
@@ -267,6 +289,7 @@ class TestLifecycle:
         _run(scenario())
 
 
+@pytest.mark.slow  # spawns a real process pool
 class TestProcessPool:
     def test_pool_mode_serves_bit_identical_payloads(self):
         document = _doc()
