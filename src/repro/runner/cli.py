@@ -10,6 +10,8 @@ Sub-commands::
                                        # shared PlanService across the batch
     repro plan --file scenario.json --solve
     repro serve --port 8099 --jobs 2   # long-lived batched/cached plan server
+    repro serve --deadline 30 --max-queue 256   # + deadlines, load shedding
+    repro serve --chaos worker-crash:once       # + deterministic fault injection
     repro submit '<json>' --port 8099  # submit scenario(s) to a server
     repro sweep fig13 --reduced        # registered portfolio -> manifest
     repro sweep fig13 --server 127.0.0.1:8099   # same sweep, remote
@@ -101,6 +103,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=16, metavar="N",
                        help="requests per micro-batch cap "
                             "(default: %(default)s)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request deadline; an expired request gets "
+                            "a structured deadline_expired error (504) "
+                            "instead of hanging (default: none)")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="admission-control bound on unique in-flight "
+                            "requests; beyond it new work is shed with a "
+                            "503 + Retry-After (default: unbounded)")
+    serve.add_argument("--durable", action="store_true",
+                       help="fsync the result store on every write (a "
+                            "host crash then cannot lose acknowledged "
+                            "records)")
+    serve.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="arm deterministic fault injection, e.g. "
+                            "'worker-crash:once,slow-eval:0.2' (default: "
+                            "the REPRO_CHAOS environment variable)")
 
     submit = sub.add_parser(
         "submit",
@@ -311,21 +330,35 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.server.faults import FaultInjector, FaultSpecError
     from repro.server.http import PlanServer
     from repro.server.scheduler import PlanScheduler
     from repro.server.store import ResultStore
 
+    chaos_spec = (args.chaos if args.chaos is not None
+                  else os.environ.get("REPRO_CHAOS"))
+    try:
+        chaos = FaultInjector.from_spec(chaos_spec)
+    except FaultSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
     async def _serve() -> None:
         scheduler = PlanScheduler(
-            store=ResultStore(args.store),
+            store=ResultStore(args.store, durable=args.durable),
             jobs=args.jobs,
             batch_window=args.batch_window,
             max_batch=args.max_batch,
+            deadline=args.deadline,
+            max_queue=args.max_queue,
+            chaos=chaos,
         )
         server = PlanServer(scheduler, host=args.host, port=args.port)
         await server.start()
+        chaos_note = f", chaos={chaos.spec!r}" if chaos is not None else ""
         print(f"plan server listening on http://{args.host}:{server.port} "
-              f"(jobs={args.jobs}, store={args.store or 'memory-only'})",
+              f"(jobs={args.jobs}, store={args.store or 'memory-only'}"
+              f"{chaos_note})",
               flush=True)
         try:
             await server.serve_forever()
@@ -339,6 +372,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("plan server stopped", file=sys.stderr)
+    except ValueError as error:  # bad scheduler knobs (deadline, max-queue)
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except OSError as error:
         print(f"error: cannot serve on {args.host}:{args.port}: {error}",
               file=sys.stderr)

@@ -28,6 +28,7 @@ from repro import __version__
 from repro.runner.context import RunContext
 from repro.runner.manifest import MANIFEST_VERSION, finite, write_manifest
 from repro.runner.registry import Experiment, get_experiment
+from repro.server.resilience import is_retryable_exception
 
 #: Per-process context of pool workers (created by :func:`_init_worker`).
 _WORKER_CONTEXT: Optional[RunContext] = None
@@ -42,28 +43,45 @@ class CellOutcome:
     wall_seconds: float
     oom_rows: int
     error: Optional[str] = None
+    retries: int = 0
 
 
 def execute_cell(
-    experiment: Experiment, params: Dict[str, object], ctx: RunContext
+    experiment: Experiment, params: Dict[str, object], ctx: RunContext,
+    max_retries: int = 1,
 ) -> CellOutcome:
     """Run one cell and account for its wall time and OOM rows.
 
-    A raising cell is recorded (traceback in ``error``) instead of aborting
-    the sweep; the manifest validator and the CLI surface it as a failure.
+    A raising cell is retried up to ``max_retries`` times when the failure
+    classifies as *retryable* under the server resilience taxonomy (a
+    transient infrastructure hiccup, not a deterministic evaluation error);
+    still-failing and terminal cells are recorded (traceback in ``error``)
+    instead of aborting the sweep — the manifest validator and the CLI
+    surface them. Cells are deterministic, so a retried success is
+    bit-identical to a first-try success and serial≡parallel row parity is
+    unaffected.
     """
     start = time.perf_counter()
-    try:
-        raw_rows = experiment.cell(ctx, **params)
-        rows = [finite({**params, **row}) for row in raw_rows]
-        error = None
-    except Exception:
-        rows = []
-        error = traceback.format_exc(limit=8)
+    rows: List[Dict[str, object]] = []
+    error = None
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            raw_rows = experiment.cell(ctx, **params)
+            rows = [finite({**params, **row}) for row in raw_rows]
+            error = None
+            break
+        except Exception as exc:
+            rows = []
+            error = traceback.format_exc(limit=8)
+            if attempts <= max_retries and is_retryable_exception(exc):
+                continue
+            break
     wall = time.perf_counter() - start
     oom_rows = sum(1 for row in rows if row.get("oom"))
     return CellOutcome(params=params, rows=rows, wall_seconds=wall,
-                       oom_rows=oom_rows, error=error)
+                       oom_rows=oom_rows, error=error, retries=attempts - 1)
 
 
 def _init_worker(reduced: bool) -> None:

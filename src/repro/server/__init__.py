@@ -1,10 +1,19 @@
-"""The plan server: batched, cached, concurrent Scenario serving.
+"""The plan server: batched, cached, concurrent, *resilient* Scenario serving.
 
 A long-lived front end over the Scenario API — requests are deduplicated
 and micro-batched by :class:`~repro.server.scheduler.PlanScheduler`, served
 across restarts from the :class:`~repro.server.store.ResultStore`, exposed
 over HTTP by :class:`~repro.server.http.PlanServer` (``repro serve``), and
 spoken to by :class:`~repro.server.client.PlanClient` (``repro submit``).
+
+The stack is built to survive the failures it will meet at scale: the
+scheduler self-heals around crashed pool workers (rebuild + re-dispatch +
+group bisection), per-request deadlines and admission control bound tail
+latency and memory, the client retries idempotent requests with jittered
+backoff (:mod:`repro.server.resilience` owns the shared failure taxonomy
+and :class:`~repro.server.resilience.RetryPolicy`), and every failure path
+is drivable deterministically via :mod:`repro.server.faults`
+(``repro serve --chaos <spec>``).
 
 Quick start::
 
@@ -14,6 +23,12 @@ Quick start::
 """
 
 from repro.server.client import PlanClient, PlanServerError
+from repro.server.faults import (
+    FaultInjector,
+    FaultSpecError,
+    InjectedStoreWriteError,
+    InjectedWorkerCrash,
+)
 from repro.server.http import PlanServer
 from repro.server.portfolio import (
     PointOutcome,
@@ -22,10 +37,22 @@ from repro.server.portfolio import (
     run_portfolio_local,
     sweep_portfolio,
 )
+from repro.server.resilience import (
+    Failure,
+    RetryPolicy,
+    classify_exception,
+    is_retryable_exception,
+    is_retryable_payload,
+)
 from repro.server.scheduler import PlanRequestError, PlanScheduler, error_payload
 from repro.server.store import ResultStore
 
 __all__ = [
+    "Failure",
+    "FaultInjector",
+    "FaultSpecError",
+    "InjectedStoreWriteError",
+    "InjectedWorkerCrash",
     "PlanClient",
     "PlanRequestError",
     "PlanScheduler",
@@ -34,8 +61,12 @@ __all__ = [
     "PointOutcome",
     "PortfolioManager",
     "ResultStore",
+    "RetryPolicy",
     "build_sweep_manifest",
+    "classify_exception",
     "error_payload",
+    "is_retryable_exception",
+    "is_retryable_payload",
     "run_portfolio_local",
     "sweep_portfolio",
 ]

@@ -25,9 +25,12 @@ only runtime dependency stays ``numpy``:
   store hits/misses, plan-cache hits/misses, latency, portfolio jobs).
 
 Malformed requests get structured ``{"error": {...}}`` bodies with 400-class
-statuses, never tracebacks. Connections are one-request (``Connection:
-close``): plan evaluation dwarfs connection setup, and it keeps the
-protocol loop trivially correct.
+statuses, never tracebacks. Load-shed requests (admission control) get a
+503 with a ``Retry-After`` header; deadline-expired ones a 504 — both with
+``"retryable"`` set in the error payload so clients know whether backing
+off helps (see :mod:`repro.server.resilience`). Connections are one-request
+(``Connection: close``): plan evaluation dwarfs connection setup, and it
+keeps the protocol loop trivially correct.
 """
 
 from __future__ import annotations
@@ -51,6 +54,7 @@ _STATUS_TEXT = {
     422: "Unprocessable Entity",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -114,6 +118,17 @@ class PlanServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        chaos = self.scheduler.chaos
+        if chaos is not None and chaos.on_http_request():
+            # flaky-http chaos: drop the connection unanswered, exactly
+            # like a flaky network would — the client's retry/backoff
+            # path is what this exercises.
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            return
         try:
             try:
                 request = await self._read_request(reader)
@@ -242,6 +257,16 @@ class PlanServer:
                                   kind="not_found", status=404), None
 
     @staticmethod
+    def _error_response(
+            error: PlanRequestError
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        """A PlanRequestError as a response triple (Retry-After on sheds)."""
+        headers = None
+        if error.retry_after is not None:
+            headers = {"Retry-After": str(max(1, int(error.retry_after)))}
+        return error.status, error.payload, headers
+
+    @staticmethod
     def _method_not_allowed(
             allowed: str) -> Tuple[int, Dict[str, object], Dict[str, str]]:
         payload = error_payload(f"method not allowed; use {allowed}",
@@ -261,7 +286,7 @@ class PlanServer:
         try:
             payload, source = await self.scheduler.submit_doc_traced(document)
         except PlanRequestError as error:
-            return error.status, error.payload, None
+            return self._error_response(error)
         headers = {"X-Repro-Source": source}
         if "error" in payload:
             return payload["error"].get("status", 422), payload, headers
@@ -302,7 +327,7 @@ class PlanServer:
         try:
             results = await self.scheduler.submit_batch(document)
         except PlanRequestError as error:
-            return error.status, error.payload, None
+            return self._error_response(error)
         errors = sum(1 for result in results if "error" in result)
         headers = {"X-Repro-Errors": str(errors)}
         return 200, {"results": results, "errors": errors}, headers

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from repro import __version__
 from repro.api.portfolio import Portfolio, PortfolioError, PortfolioPoint
+from repro.server.resilience import RetryPolicy
 from repro.server.scheduler import PlanRequestError, PlanScheduler
 
 #: Default cap on points one portfolio may expand to (server guard).
@@ -40,6 +41,10 @@ MAX_POINTS = 4096
 
 #: Finished jobs kept for polling before the oldest are evicted.
 MAX_FINISHED_JOBS = 64
+
+#: Default shed-retry policy of sweeps: a sweep is a batch producer, so it
+#: backs off patiently when admission control pushes back.
+SWEEP_RETRY = RetryPolicy(max_attempts=6, base_delay=0.05, max_delay=1.0)
 
 
 @dataclass
@@ -67,6 +72,8 @@ async def sweep_portfolio(
     points: Optional[List[PortfolioPoint]] = None,
     on_unique: Optional[Callable[[int, int, PointOutcome], None]] = None,
     max_points: Optional[int] = MAX_POINTS,
+    retry: Optional[RetryPolicy] = None,
+    max_concurrency: Optional[int] = None,
 ) -> List[PointOutcome]:
     """Serve every point of ``portfolio`` through ``scheduler``.
 
@@ -79,29 +86,58 @@ async def sweep_portfolio(
             resolves, with ``(completed_unique, total_unique, outcome)`` —
             the incremental-progress hook of the HTTP job and the CLI.
         max_points: expansion cap (``None`` disables it).
+        retry: backoff policy for points shed by admission control
+            (defaults to :data:`SWEEP_RETRY`); a point still shed after it
+            is exhausted becomes a ``"failed"`` outcome.
+        max_concurrency: optional cap on simultaneously submitted unique
+            points — the sweep's own backpressure valve. Defaults to the
+            scheduler's ``max_queue`` when one is set, so a sweep never
+            floods its own admission controller.
 
     Returns:
         One :class:`PointOutcome` per point, in point order. Per-scenario
         failures come back as structured error payloads; only a scheduler
-        shutdown mid-sweep surfaces as error payloads with source
-        ``"failed"``. The call itself does not raise for bad scenarios.
+        shutdown or an exhausted shed-retry mid-sweep surfaces as error
+        payloads with source ``"failed"``. The call itself does not raise
+        for bad scenarios.
     """
     if points is None:
         points = portfolio.expand(max_points=max_points)
+    if retry is None:
+        retry = SWEEP_RETRY
+    if max_concurrency is None:
+        max_concurrency = scheduler.max_queue
+    gate = (asyncio.Semaphore(max_concurrency)
+            if max_concurrency is not None else None)
     unique: Dict[str, List[PortfolioPoint]] = {}
     for point in points:
         unique.setdefault(point.cache_key(), []).append(point)
     total = len(unique)
     completed = 0
 
+    async def _submit(scenario) -> tuple:
+        attempt = 0
+        while True:
+            try:
+                return await scheduler.submit_traced(scenario)
+            except PlanRequestError as error:
+                # Shed points back off and re-enter; everything else
+                # (shutdown, deadline) is final for this point.
+                attempt += 1
+                if (error.kind != "overloaded"
+                        or attempt >= retry.max_attempts):
+                    return error.payload, "failed"
+                await asyncio.sleep(retry.delay(attempt))
+
     async def _serve(key: str) -> Dict[str, object]:
         nonlocal completed
         first = unique[key][0]
         start = time.perf_counter()
-        try:
-            payload, source = await scheduler.submit_traced(first.scenario)
-        except PlanRequestError as error:
-            payload, source = error.payload, "failed"
+        if gate is not None:
+            async with gate:
+                payload, source = await _submit(first.scenario)
+        else:
+            payload, source = await _submit(first.scenario)
         wall = time.perf_counter() - start
         outcome = PointOutcome(
             index=first.index, params=first.params, payload=payload,

@@ -8,6 +8,9 @@ the CLI batch path) and the evaluation workers. One request travels::
       -> ResultStore.get(key)        # served across restarts without solving
       -> in-flight dedup map         # identical concurrent requests share
                                      # one evaluation (one future, N awaiters)
+      -> admission control           # beyond max_queue unique in-flight
+                                     # requests, new work is shed with a
+                                     # structured 503 + Retry-After
       -> micro-batch queue           # requests arriving within batch_window
                                      # are grouped before dispatch
       -> hardware grouping           # same HardwareSpec -> one worker task,
@@ -24,6 +27,18 @@ Evaluation is deterministic and the plan cache purely memoises, so a served
 payload is bit-identical to ``PlanService().evaluate(scenario).to_dict()``
 no matter which path produced it (pinned in ``tests/server/``).
 
+The scheduler is self-healing: a crashed pool worker (a genuine
+``BrokenProcessPool``) triggers a pool rebuild and a re-dispatch of the
+failed group under the shared :class:`~repro.server.resilience.RetryPolicy`;
+a group that keeps failing is *bisected* so one poison scenario ends up
+alone, gets a terminal typed error (kind ``worker_crashed``, its
+``cache_key`` inlined), and its batch-mates still succeed. A per-request
+``deadline`` turns a hung evaluation into a structured ``deadline_expired``
+error instead of a hung future. All of it is countable in ``stats()``
+(``retries`` / ``shed`` / ``deadline_expired`` / ``pool_rebuilds``) and
+drivable deterministically via an armed
+:class:`~repro.server.faults.FaultInjector`.
+
 Malformed documents raise :class:`PlanRequestError`, whose ``payload`` is a
 structured ``{"error": {...}}`` document — front ends turn it into a 400,
 never a traceback. Evaluation failures (e.g. no feasible configuration)
@@ -39,39 +54,68 @@ import functools
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Mapping, Optional, Tuple
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.api.scenario import Scenario, ScenarioError
 from repro.api.service import PlanService
+from repro.server.faults import FaultInjector, mark_pool_worker
+from repro.server.resilience import RetryPolicy, classify_exception
 from repro.server.store import ResultStore
 
 #: Where a served payload came from (the trace of ``submit_traced``).
 SOURCES = ("store", "inflight", "evaluated")
 
+#: Group re-dispatch policy: cheap, bounded — a pool rebuild per attempt is
+#: already expensive, and a group still failing after this gets bisected.
+DEFAULT_RETRY = RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.25)
+
 
 def error_payload(message: str, kind: str = "error",
-                  status: int = 400) -> Dict[str, object]:
-    """The structured error document every front end speaks."""
-    return {"error": {"type": kind, "message": message, "status": status}}
+                  status: int = 400,
+                  retryable: Optional[bool] = None,
+                  cache_key: Optional[str] = None) -> Dict[str, object]:
+    """The structured error document every front end speaks.
+
+    ``retryable`` and ``cache_key`` are only present when given: the
+    taxonomy flag tells clients whether backing off and retrying can help,
+    the key tells batch clients *which* scenario actually failed.
+    """
+    error: Dict[str, object] = {"type": kind, "message": message,
+                                "status": status}
+    if retryable is not None:
+        error["retryable"] = retryable
+    if cache_key is not None:
+        error["cache_key"] = cache_key
+    return {"error": error}
 
 
 class PlanRequestError(ValueError):
     """A request that cannot be evaluated (bad document, server closing).
 
     ``payload`` is the JSON error document to return to the caller;
-    ``status`` the HTTP-style status class it maps to.
+    ``status`` the HTTP-style status class it maps to; ``retry_after``
+    (seconds) is set on load-shed responses and becomes the ``Retry-After``
+    header.
     """
 
     def __init__(self, message: str, kind: str = "ScenarioError",
-                 status: int = 400) -> None:
+                 status: int = 400, retryable: Optional[bool] = None,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.kind = kind
         self.status = status
+        self.retryable = retryable
+        self.retry_after = retry_after
 
     @property
     def payload(self) -> Dict[str, object]:
-        return error_payload(str(self), kind=self.kind, status=self.status)
+        return error_payload(str(self), kind=self.kind, status=self.status,
+                             retryable=self.retryable)
 
 
 # Worker-side evaluation ---------------------------------------------------------
@@ -89,18 +133,26 @@ def _evaluate_doc(service: PlanService,
         # requests of its group (which a raising evaluate_group would).
         message = error.args[0] if error.args else error
         return error_payload(str(message), kind=type(error).__name__,
-                             status=422)
+                             status=422,
+                             retryable=classify_exception(error).retryable)
 
 
 def evaluate_group(service: PlanService,
-                   docs: List[Dict[str, object]]) -> Tuple[
+                   docs: List[Dict[str, object]],
+                   chaos: Optional[FaultInjector] = None) -> Tuple[
                        List[Dict[str, object]], Dict[str, object]]:
     """Evaluate one hardware-compatible group on one service.
 
     Returns the per-document payloads plus a worker telemetry snapshot
     (pid + plan-cache counters) the scheduler folds into ``stats()``.
+    The chaos hook fires *outside* the per-document containment, so an
+    injected worker crash escapes like a real one would.
     """
-    payloads = [_evaluate_doc(service, doc) for doc in docs]
+    payloads = []
+    for doc in docs:
+        if chaos is not None:
+            chaos.on_worker_evaluate(doc)
+        payloads.append(_evaluate_doc(service, doc))
     telemetry = {"pid": os.getpid(),
                  "plan_cache": service.plan_cache.stats()}
     return payloads, telemetry
@@ -110,11 +162,21 @@ def evaluate_group(service: PlanService,
 #: shared PlanCache per worker, warm across every group the worker runs).
 _WORKER_SERVICE: Optional[PlanService] = None
 
+#: Per-process chaos injector of pool workers (re-armed from the spec the
+#: initializer received; counted rules share token files with the parent).
+_WORKER_CHAOS: Optional[FaultInjector] = None
 
-def _init_pool_worker() -> None:
-    """Pool initializer: one persistent PlanService per worker process."""
-    global _WORKER_SERVICE
+
+def _init_pool_worker(chaos_spec: Optional[str] = None,
+                      chaos_state_dir: Optional[str] = None) -> None:
+    """Pool initializer: one persistent PlanService (and chaos) per worker."""
+    global _WORKER_SERVICE, _WORKER_CHAOS
     _WORKER_SERVICE = PlanService()
+    _WORKER_CHAOS = None
+    if chaos_spec:
+        mark_pool_worker()
+        _WORKER_CHAOS = FaultInjector.from_spec(chaos_spec,
+                                                state_dir=chaos_state_dir)
 
 
 def _evaluate_group_in_worker(
@@ -124,7 +186,7 @@ def _evaluate_group_in_worker(
     global _WORKER_SERVICE
     if _WORKER_SERVICE is None:
         _WORKER_SERVICE = PlanService()
-    return evaluate_group(_WORKER_SERVICE, docs)
+    return evaluate_group(_WORKER_SERVICE, docs, chaos=_WORKER_CHAOS)
 
 
 # Scheduler ----------------------------------------------------------------------
@@ -139,12 +201,24 @@ class PlanScheduler:
             worker owns its own service instead.
         store: optional :class:`ResultStore` consulted before queueing and
             fed after every successful evaluation. The scheduler owns it
-            (``close()`` closes it).
+            (``close()`` closes it). A failed store write is survived (the
+            result is still served) and counted.
         jobs: ``1`` evaluates in-process on a single worker thread;
             ``N > 1`` fans groups out to a persistent process pool.
         batch_window: seconds the batcher waits for more requests after the
             first one of a batch arrives.
         max_batch: requests per micro-batch cap.
+        deadline: optional per-request deadline in seconds; an expired
+            request gets a structured ``deadline_expired`` error (504)
+            instead of a hung future.
+        max_queue: optional admission bound on unique in-flight requests;
+            beyond it new work is shed with ``overloaded`` (503 +
+            ``Retry-After``). Store hits and deduplicated requests are
+            never shed — they cost no evaluation.
+        retry: group re-dispatch policy after worker failures (defaults to
+            :data:`DEFAULT_RETRY`).
+        chaos: a :class:`~repro.server.faults.FaultInjector` (or its spec
+            string) arming deterministic fault injection.
     """
 
     def __init__(
@@ -154,6 +228,10 @@ class PlanScheduler:
         jobs: int = 1,
         batch_window: float = 0.005,
         max_batch: int = 16,
+        deadline: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Optional[Union[str, FaultInjector]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -161,6 +239,10 @@ class PlanScheduler:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if service is not None and jobs != 1:
             raise ValueError(
                 "a shared service only applies to jobs=1 (in-process) "
@@ -168,6 +250,11 @@ class PlanScheduler:
         self.jobs = jobs
         self.batch_window = float(batch_window)
         self.max_batch = max_batch
+        self.deadline = deadline
+        self.max_queue = max_queue
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.chaos = (FaultInjector.from_spec(chaos)
+                      if isinstance(chaos, str) else chaos)
         self.store = store
         self.service = (service if service is not None else PlanService()) \
             if jobs == 1 else None
@@ -178,6 +265,11 @@ class PlanScheduler:
             "errors": 0,
             "batches": 0,
             "groups": 0,
+            "retries": 0,
+            "shed": 0,
+            "deadline_expired": 0,
+            "pool_rebuilds": 0,
+            "store_write_failures": 0,
         }
         self._latency_count = 0
         self._latency_total = 0.0
@@ -189,26 +281,39 @@ class PlanScheduler:
         self._dispatch_tasks: set = set()
         self._executor = None
         self._group_fn = None
+        self._pool_generation = 0
+        self._rebuild_lock: Optional[asyncio.Lock] = None
         self._started = False
         self._closing = False
 
     # Lifecycle -------------------------------------------------------------------
+
+    def _make_executor(self):
+        """A fresh worker pool (also the rebuild path after a crash)."""
+        if self.jobs == 1:
+            # One worker thread serialises evaluation: PlanService is not
+            # thread-safe and a single in-process service is the point —
+            # every request shares its PlanCache and resolved wafers.
+            return ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="plan-worker")
+        initargs = ()
+        if self.chaos is not None:
+            initargs = (self.chaos.spec, self.chaos.state_dir)
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_init_pool_worker,
+            initargs=initargs)
 
     async def start(self) -> None:
         """Create the queue, the worker pool, and the batcher task."""
         if self._started:
             return
         self._queue = asyncio.Queue()
+        self._executor = self._make_executor()
+        self._rebuild_lock = asyncio.Lock()
         if self.jobs == 1:
-            # One worker thread serialises evaluation: PlanService is not
-            # thread-safe and a single in-process service is the point —
-            # every request shares its PlanCache and resolved wafers.
-            self._executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="plan-worker")
-            self._group_fn = functools.partial(evaluate_group, self.service)
+            self._group_fn = functools.partial(evaluate_group, self.service,
+                                               chaos=self.chaos)
         else:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs, initializer=_init_pool_worker)
             self._group_fn = _evaluate_group_in_worker
         self._batcher = asyncio.create_task(self._batch_loop())
         self._started = True
@@ -271,14 +376,17 @@ class PlanScheduler:
             onto an identical concurrent request), or ``"evaluated"``.
 
         Raises:
-            PlanRequestError: when the scheduler is shutting down.
+            PlanRequestError: when the scheduler is shutting down, the
+                admission queue is saturated (503, ``Retry-After``), or the
+                per-request deadline expired (504).
             RuntimeError: when the scheduler was never started.
         """
         if not self._started or self._queue is None:
             raise RuntimeError("PlanScheduler.start() was never awaited")
         if self._closing:
             raise PlanRequestError("plan server is shutting down",
-                                   kind="unavailable", status=503)
+                                   kind="unavailable", status=503,
+                                   retryable=True, retry_after=1.0)
         start = time.perf_counter()
         self.counters["requests"] += 1
         key = scenario.cache_key()
@@ -290,17 +398,44 @@ class PlanScheduler:
         future = self._inflight.get(key)
         if future is not None:
             self.counters["deduped"] += 1
-            # shield(): one awaiter being cancelled must not cancel the
-            # shared evaluation every other awaiter is waiting on.
-            payload = copy.deepcopy(await asyncio.shield(future))
+            payload = copy.deepcopy(await self._await_result(future))
             self._record_latency(start)
             return payload, "inflight"
+        # Admission control: only *new* evaluations are shed — store hits
+        # and dedup joins above cost nothing and always get through.
+        if (self.max_queue is not None
+                and len(self._inflight) >= self.max_queue):
+            self.counters["shed"] += 1
+            raise PlanRequestError(
+                f"plan server is saturated ({len(self._inflight)} requests "
+                f"in flight, max_queue={self.max_queue}); retry with "
+                f"backoff", kind="overloaded", status=503, retryable=True,
+                retry_after=1.0)
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         self._queue.put_nowait((key, scenario))
-        payload = copy.deepcopy(await asyncio.shield(future))
+        payload = copy.deepcopy(await self._await_result(future))
         self._record_latency(start)
         return payload, "evaluated"
+
+    async def _await_result(self, future: asyncio.Future) -> Dict[str, object]:
+        """Await one shared evaluation, under the per-request deadline.
+
+        shield(): one awaiter being cancelled (or timing out) must not
+        cancel the shared evaluation every other awaiter is waiting on —
+        the evaluation completes and feeds the store either way.
+        """
+        if self.deadline is None:
+            return await asyncio.shield(future)
+        try:
+            return await asyncio.wait_for(asyncio.shield(future),
+                                          self.deadline)
+        except asyncio.TimeoutError:
+            self.counters["deadline_expired"] += 1
+            raise PlanRequestError(
+                f"request exceeded the per-request deadline of "
+                f"{self.deadline}s", kind="deadline_expired", status=504,
+                retryable=True) from None
 
     async def submit_doc(self, doc: object) -> Dict[str, object]:
         """Serve one raw scenario document; see :meth:`submit_doc_traced`."""
@@ -375,31 +510,105 @@ class PlanScheduler:
         await asyncio.gather(*(self._run_group(group)
                                for group in groups.values()))
 
+    async def _rebuild_pool(self, observed_generation: int) -> None:
+        """Replace a broken executor (once per generation, lock-guarded).
+
+        Concurrent groups all observing the same broken pool race here;
+        only the first rebuilds — the rest see the bumped generation and
+        retry on the already-fresh pool.
+        """
+        async with self._rebuild_lock:
+            if self._pool_generation != observed_generation:
+                return
+            broken = self._executor
+            self._executor = self._make_executor()
+            self._pool_generation += 1
+            self.counters["pool_rebuilds"] += 1
+            if broken is not None:
+                # wait=False: the pool is already broken; reaping its dead
+                # processes must not block the event loop.
+                broken.shutdown(wait=False)
+
+    async def _evaluate_with_retry(
+            self, group: List[Tuple[str, Scenario]]
+    ) -> List[Dict[str, object]]:
+        """Evaluate one group, self-healing around worker failures.
+
+        Retryable failures (a crashed worker, a broken pool) re-dispatch
+        the whole group under :attr:`retry`; a group that keeps failing is
+        bisected so each half retries independently — the recursion
+        terminates with the poison scenario alone in a singleton group,
+        which gets a terminal ``worker_crashed`` error payload carrying its
+        ``cache_key``, while every other request still evaluates normally.
+        """
+        docs = [scenario.to_dict() for _, scenario in group]
+        loop = asyncio.get_running_loop()
+        attempts = 0
+        while True:
+            generation = self._pool_generation
+            try:
+                payloads, telemetry = await loop.run_in_executor(
+                    self._executor, self._group_fn, docs)
+            except Exception as error:
+                failure = classify_exception(error)
+                if isinstance(error, BrokenExecutor):
+                    await self._rebuild_pool(generation)
+                attempts += 1
+                if failure.retryable and attempts < self.retry.max_attempts:
+                    self.counters["retries"] += 1
+                    await asyncio.sleep(self.retry.delay(attempts))
+                    continue
+                if failure.retryable and len(group) > 1:
+                    # Bisect: isolate the poison scenario so its
+                    # batch-mates still succeed.
+                    mid = len(group) // 2
+                    left = await self._evaluate_with_retry(group[:mid])
+                    right = await self._evaluate_with_retry(group[mid:])
+                    return left + right
+                retries_note = (f" after {attempts} attempts"
+                                if failure.retryable else "")
+                return [error_payload(
+                    f"evaluation worker failed{retries_note}: {error}",
+                    kind=("worker_crashed" if failure.retryable
+                          else failure.kind),
+                    status=500, retryable=False, cache_key=key)
+                    for key, _ in group]
+            if telemetry is not None:
+                self._worker_stats[telemetry["pid"]] = \
+                    telemetry["plan_cache"]
+            return payloads
+
     async def _run_group(
             self, group: List[Tuple[str, Scenario]]) -> None:
         """Evaluate one hardware-compatible group on one pool worker."""
-        docs = [scenario.to_dict() for _, scenario in group]
-        loop = asyncio.get_running_loop()
-        try:
-            payloads, telemetry = await loop.run_in_executor(
-                self._executor, self._group_fn, docs)
-        except Exception as error:  # pool/worker failure, not a bad request
-            failure = error_payload(f"evaluation worker failed: {error}",
-                                    kind=type(error).__name__, status=500)
-            payloads = [copy.deepcopy(failure) for _ in group]
-            telemetry = None
-        if telemetry is not None:
-            self._worker_stats[telemetry["pid"]] = telemetry["plan_cache"]
+        payloads = await self._evaluate_with_retry(group)
         for (key, _), payload in zip(group, payloads):
             if "error" in payload:
+                # Every per-scenario error names its request: batch-mates
+                # sharing a group-wide failure stay distinguishable.
+                payload["error"].setdefault("cache_key", key)
                 self.counters["errors"] += 1
             else:
                 self.counters["evaluations"] += 1
-                if self.store is not None:
-                    self.store.put(key, payload)
+                self._store_put(key, payload)
             future = self._inflight.pop(key, None)
             if future is not None and not future.done():
                 future.set_result(payload)
+
+    def _store_put(self, key: str, payload: Dict[str, object]) -> None:
+        """Persist one payload, surviving (and counting) write failures.
+
+        The store is an optimisation, not the source of truth: a failed
+        append must not fail the request whose result it was caching.
+        """
+        if self.store is None:
+            return
+        try:
+            if self.chaos is not None:
+                self.chaos.on_store_write()
+            self.store.put(key, payload)
+        except OSError:
+            self.counters["store_write_failures"] += 1
 
     # Telemetry -------------------------------------------------------------------
 
@@ -427,11 +636,16 @@ class PlanScheduler:
                 "jobs": self.jobs,
                 "max_batch": self.max_batch,
                 "batch_window_seconds": self.batch_window,
+                "deadline_seconds": self.deadline,
+                "max_queue": self.max_queue,
+                "retry_policy": self.retry.to_dict(),
                 "inflight": len(self._inflight),
             },
             "store": ({"enabled": True, **self.store.stats()}
                       if self.store is not None else {"enabled": False}),
             "plan_cache": plan_cache,
+            "chaos": ({"enabled": True, **self.chaos.stats()}
+                      if self.chaos is not None else {"enabled": False}),
             "latency": {
                 "count": self._latency_count,
                 "total_seconds": self._latency_total,

@@ -14,6 +14,13 @@ line is skipped on load, every earlier record survives), and trivially
 mergeable across hosts with ``cat``. The whole file is indexed into memory
 on open (payloads are small flat dicts); the last record for a key wins, so
 re-putting a key is an append, not a rewrite.
+
+Corrupt lines (torn writes, non-record documents) are *counted*, not
+silently skipped: ``stats()`` reports ``corrupt_lines`` and a warning is
+emitted on load, so a store quietly losing records is visible in
+``GET /metrics``. ``durable=True`` additionally fsyncs every append, so a
+crash mid-write can tear at most the line being written — never an
+already-acknowledged record.
 """
 
 from __future__ import annotations
@@ -21,10 +28,11 @@ from __future__ import annotations
 import copy
 import json
 import os
+import warnings
 from typing import Dict, Optional
 
 #: Result-store counter names reported by :meth:`ResultStore.stats`.
-STORE_COUNTERS = ("hits", "misses", "writes")
+STORE_COUNTERS = ("hits", "misses", "writes", "corrupt_lines")
 
 
 class ResultStore:
@@ -34,18 +42,26 @@ class ResultStore:
         path: JSON-lines file backing the store. ``None`` keeps the store
             in memory only (same interface, no persistence) — the mode the
             offline ``repro plan`` batch path and most tests use.
+        durable: fsync after every appended record. Slower per write, but
+            an acknowledged record then survives a host crash, not just a
+            process crash.
 
     Attributes:
         hits: ``get`` calls that found a payload.
         misses: ``get`` calls that found nothing.
         writes: ``put`` calls (each is one appended line when disk-backed).
+        corrupt_lines: non-empty backing-file lines that were not intact
+            records at load time (torn writes, foreign documents).
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None,
+                 durable: bool = False) -> None:
         self.path = os.fspath(path) if path is not None else None
+        self.durable = durable
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt_lines = 0
         self._payloads: Dict[str, Dict[str, object]] = {}
         self._handle = None
         if self.path is not None:
@@ -68,13 +84,22 @@ class ResultStore:
                     except json.JSONDecodeError:
                         # A torn trailing line from a crashed writer; every
                         # complete record before it is still served.
+                        self.corrupt_lines += 1
                         continue
                     if (isinstance(record, dict)
                             and isinstance(record.get("key"), str)
                             and isinstance(record.get("payload"), dict)):
                         self._payloads[record["key"]] = record["payload"]
+                    else:
+                        self.corrupt_lines += 1
         except FileNotFoundError:
             pass
+        if self.corrupt_lines:
+            warnings.warn(
+                f"result store {self.path}: skipped {self.corrupt_lines} "
+                f"corrupt line(s) on load (torn writes or foreign "
+                f"documents); intact records are still served",
+                RuntimeWarning, stacklevel=3)
 
     def __len__(self) -> int:
         return len(self._payloads)
@@ -103,6 +128,8 @@ class ResultStore:
                                 sort_keys=True, allow_nan=False)
             self._handle.write(record + "\n")
             self._handle.flush()
+            if self.durable:
+                os.fsync(self._handle.fileno())
 
     def stats(self) -> Dict[str, object]:
         """Plain-JSON counter snapshot for ``GET /metrics``."""
@@ -110,6 +137,7 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "corrupt_lines": self.corrupt_lines,
             "entries": len(self._payloads),
             "persistent": self.path is not None,
         }

@@ -25,10 +25,14 @@ from repro.server.store import ResultStore
 class ServerHarness:
     """A PlanServer running its own asyncio loop in a daemon thread."""
 
-    def __init__(self, store_path=None, jobs=1, batch_window=0.002):
+    def __init__(self, store_path=None, jobs=1, batch_window=0.002,
+                 deadline=None, max_queue=None, chaos=None):
         self._store_path = store_path
         self._jobs = jobs
         self._batch_window = batch_window
+        self._deadline = deadline
+        self._max_queue = max_queue
+        self._chaos = chaos
         self._ready = threading.Event()
         self._loop = None
         self._stop = None
@@ -56,7 +60,10 @@ class ServerHarness:
         store = (ResultStore(self._store_path)
                  if self._store_path is not None else None)
         scheduler = PlanScheduler(store=store, jobs=self._jobs,
-                                  batch_window=self._batch_window)
+                                  batch_window=self._batch_window,
+                                  deadline=self._deadline,
+                                  max_queue=self._max_queue,
+                                  chaos=self._chaos)
         server = PlanServer(scheduler, host="127.0.0.1", port=0)
         await server.start()
         self._server = server
@@ -101,3 +108,24 @@ def server(tmp_path_factory):
 def client(server):
     """A blocking client bound to the module's server."""
     return PlanClient(port=server.port, timeout=60.0)
+
+
+@pytest.fixture
+def make_server():
+    """A factory for per-test servers with custom knobs (chaos, deadline).
+
+    The chaos tests need private servers — an armed
+    :class:`~repro.server.faults.FaultInjector` is stateful, so sharing the
+    module-scoped server would leak one test's faults into the next.
+    """
+    harnesses = []
+
+    def _make(**kwargs):
+        harness = ServerHarness(**kwargs)
+        harness.start()
+        harnesses.append(harness)
+        return harness
+
+    yield _make
+    for harness in harnesses:
+        harness.stop()

@@ -321,10 +321,15 @@ class TestStats:
                 return scheduler.stats()
 
         stats = _run(scenario())
-        assert set(stats) == {"scheduler", "store", "plan_cache", "latency"}
+        assert set(stats) == {"scheduler", "store", "plan_cache", "chaos",
+                              "latency"}
         assert stats["scheduler"]["requests"] == 1
         assert stats["scheduler"]["jobs"] == 1
+        for counter in ("retries", "shed", "deadline_expired",
+                        "pool_rebuilds", "store_write_failures"):
+            assert stats["scheduler"][counter] == 0
         assert stats["store"]["enabled"] is True
+        assert stats["chaos"] == {"enabled": False}
         assert stats["plan_cache"]["misses"] > 0
         assert stats["latency"]["count"] == 1
         assert stats["latency"]["mean_seconds"] > 0

@@ -1,6 +1,11 @@
 """Tests of the disk-backed result store."""
 
 import json
+import os
+import warnings
+from unittest import mock
+
+import pytest
 
 from repro.server.store import ResultStore
 
@@ -40,7 +45,8 @@ class TestMemoryStore:
         store.get(KEY)
         store.get(OTHER_KEY)
         assert store.stats() == {"hits": 1, "misses": 1, "writes": 1,
-                                 "entries": 1, "persistent": False}
+                                 "corrupt_lines": 0, "entries": 1,
+                                 "persistent": False}
 
 
 class TestDiskStore:
@@ -69,17 +75,49 @@ class TestDiskStore:
             store.put(KEY, PAYLOAD)
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"key": "' + OTHER_KEY + '", "payl')  # torn write
-        with ResultStore(path) as reopened:
+        with pytest.warns(RuntimeWarning, match="1 corrupt line"):
+            reopened = ResultStore(path)
+        with reopened:
             assert reopened.get(KEY) == PAYLOAD
             assert reopened.get(OTHER_KEY) is None
+            assert reopened.corrupt_lines == 1
 
-    def test_non_record_lines_are_ignored(self, tmp_path):
+    def test_non_record_lines_are_counted_not_served(self, tmp_path):
+        # Blank lines are benign; foreign documents and wrong-typed records
+        # each count as one corrupt line in stats() (surfaced in /metrics).
         path = tmp_path / "store.jsonl"
         path.write_text('\n[1, 2]\n{"key": 7, "payload": {}}\n'
                         + json.dumps({"key": KEY, "payload": PAYLOAD}) + "\n")
-        with ResultStore(path) as store:
+        with pytest.warns(RuntimeWarning, match="2 corrupt line"):
+            store = ResultStore(path)
+        with store:
             assert store.get(KEY) == PAYLOAD
             assert len(store) == 1
+            assert store.stats()["corrupt_lines"] == 2
+
+    def test_clean_file_loads_without_warning(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            store.put(KEY, PAYLOAD)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with ResultStore(path) as reopened:
+                assert reopened.corrupt_lines == 0
+
+    def test_durable_put_fsyncs_every_append(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl", durable=True)
+        with store, mock.patch.object(os, "fsync",
+                                      wraps=os.fsync) as fsync:
+            store.put(KEY, PAYLOAD)
+            store.put(OTHER_KEY, PAYLOAD)
+            assert fsync.call_count == 2
+
+    def test_non_durable_put_does_not_fsync(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        with store, mock.patch.object(os, "fsync",
+                                      wraps=os.fsync) as fsync:
+            store.put(KEY, PAYLOAD)
+            assert fsync.call_count == 0
 
     def test_missing_file_starts_empty(self, tmp_path):
         with ResultStore(tmp_path / "fresh.jsonl") as store:
