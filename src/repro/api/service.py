@@ -312,6 +312,19 @@ class PlanService:
             "wafers_cached": len(self._wafers),
         }
 
+    # Batching hooks ---------------------------------------------------------------
+    # Overridden by repro.costmodel.portfolio.BatchedPlanService to share
+    # simulation reports and cost tables across the points of a portfolio.
+    # The base service never batches, so both return None.
+
+    def _report_cache_for(self, scenario: Scenario):
+        """Optional report memo for the single-wafer search paths."""
+        return None
+
+    def _tables_provider_for(self, scenario: Scenario):
+        """Optional ``CostTables`` provider for the dual-level solver."""
+        return None
+
     # Resolution caches ------------------------------------------------------------
 
     def wafer_for(self, hardware: HardwareSpec) -> WaferScaleChip:
@@ -368,12 +381,14 @@ class PlanService:
             return self._evaluate_faults(scenario, config=config)
         wafer = wafer if wafer is not None else self.wafer_for(hardware)
         config = config if config is not None else hardware.resolve_simulator()
+        report_cache = self._report_cache_for(scenario)
         if scenario.solver.fixed_spec is not None:
             return simulate_fixed_spec(
                 scenario, plan_cache=self.plan_cache, wafer=wafer,
-                config=config)
+                config=config, report_cache=report_cache)
         return run_baseline_scenario(
-            scenario, plan_cache=self.plan_cache, wafer=wafer, config=config)
+            scenario, plan_cache=self.plan_cache, wafer=wafer, config=config,
+            report_cache=report_cache)
 
     def solve(self, scenario: Scenario) -> SolverOutcome:
         """Run the dual-level solver on ``scenario`` (flat outcome)."""
@@ -395,6 +410,7 @@ class PlanService:
             genetic_config=genetic_config,
             num_finalists=solver_spec.num_finalists,
             mapping_engine=solver_spec.engine,
+            tables_provider=self._tables_provider_for(scenario),
         )
         return solver.solve(
             scenario.workload.resolve(),

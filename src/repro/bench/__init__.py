@@ -1,0 +1,43 @@
+"""The benchmark subsystem: registry, harness, and BENCH report format.
+
+``repro bench`` runs registered benchmarks (warmup + repeated timed runs,
+median/p10/p90), emits schema-validated ``BENCH_*.json`` reports, and
+compares two reports for regressions — the CI perf gate. See
+:mod:`repro.bench.registry` for registration, :mod:`repro.bench.report`
+for the harness and report format, and :mod:`repro.bench.suites` for the
+seed suite.
+"""
+
+from repro.bench.registry import (
+    Benchmark,
+    all_benchmarks,
+    benchmark_names,
+    ensure_loaded,
+    get_benchmark,
+    register_benchmark,
+)
+from repro.bench.report import (
+    BENCH_VERSION,
+    compare_reports,
+    load_report,
+    run_benchmark,
+    run_suite,
+    validate_bench_report,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_VERSION",
+    "Benchmark",
+    "all_benchmarks",
+    "benchmark_names",
+    "compare_reports",
+    "ensure_loaded",
+    "get_benchmark",
+    "load_report",
+    "register_benchmark",
+    "run_benchmark",
+    "run_suite",
+    "validate_bench_report",
+    "write_report",
+]

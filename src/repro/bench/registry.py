@@ -1,0 +1,105 @@
+"""The benchmark registry (the perf twin of the experiment registry).
+
+Mirrors :mod:`repro.runner.registry`: benchmarks are declared with the
+:func:`register_benchmark` decorator at import time of
+:mod:`repro.bench.suites`, looked up by name, and enumerated by the CLI
+(``repro bench --list``) and the generated ``BENCHMARKS.md``.
+
+A benchmark is one callable timed as a whole. The callable may return a
+plain-JSON dict of *extras* — auxiliary measurements (internal timing
+splits, speedups, parity flags) recorded alongside the wall-clock
+statistics in the ``BENCH_*.json`` report.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+#: Package imported by :func:`ensure_loaded` to populate the registry.
+SUITES_PACKAGE = "repro.bench.suites"
+
+_REGISTRY: Dict[str, "Benchmark"] = {}
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark.
+
+    Attributes:
+        name: registry key (``repro bench <name>``).
+        title: one-line human label.
+        description: what the benchmark exercises and why it is tracked.
+        fn: the timed callable; may return an extras dict or ``None``.
+        repeat: default number of timed runs (CLI ``--repeat`` overrides).
+        warmup: default number of untimed warmup runs before timing.
+    """
+
+    name: str
+    title: str
+    description: str
+    fn: Callable[[], Optional[Dict[str, object]]]
+    repeat: int = 5
+    warmup: int = 1
+
+    @property
+    def module(self) -> str:
+        """Module the benchmark callable lives in."""
+        return self.fn.__module__
+
+
+def register_benchmark(
+    *,
+    name: str,
+    title: str,
+    description: str,
+    repeat: int = 5,
+    warmup: int = 1,
+) -> Callable[[Callable], Callable]:
+    """Class-free registration decorator for benchmark callables."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+
+    def decorator(fn: Callable[[], Optional[Dict[str, object]]]) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} is already registered")
+        _REGISTRY[name] = Benchmark(
+            name=name, title=title, description=description,
+            fn=fn, repeat=repeat, warmup=warmup)
+        return fn
+
+    return decorator
+
+
+def ensure_loaded() -> None:
+    """Import the seed suites so the registry is populated (idempotent)."""
+    importlib.import_module(SUITES_PACKAGE)
+
+
+def benchmark_names() -> List[str]:
+    """Sorted names of every registered benchmark."""
+    ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """Every registered benchmark, sorted by name."""
+    ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look one benchmark up by name.
+
+    Raises:
+        KeyError: with the known names when ``name`` is unregistered.
+    """
+    ensure_loaded()
+    benchmark = _REGISTRY.get(name)
+    if benchmark is None:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise KeyError(f"no benchmark {name!r}; known benchmarks: {known}")
+    return benchmark

@@ -1,0 +1,245 @@
+"""Running benchmarks and the ``BENCH_*.json`` report format.
+
+The report is the repo's perf trajectory: ``repro bench all --json
+BENCH_ci.json`` emits one per CI run, and ``repro bench --compare OLD NEW``
+gates regressions against the committed baseline. The format is
+deliberately small and versioned:
+
+.. code-block:: json
+
+    {
+      "bench_version": 1,
+      "repro_version": "...",
+      "suite": "ci",
+      "generated_unix": 1765432100.0,
+      "benchmarks": [
+        {"name": "...", "repeat": 3, "warmup": 1,
+         "seconds": [...], "median_seconds": 0.21,
+         "p10_seconds": 0.20, "p90_seconds": 0.23,
+         "extras": {"speedup": 2.0}}
+      ]
+    }
+
+Comparison semantics (:func:`compare_reports`): a benchmark regresses when
+its new median exceeds the old median by *strictly more than*
+``threshold_pct`` percent. A zero/non-positive old median and a benchmark
+missing from the old report are *notes*, not regressions — new benchmarks
+and degenerate baselines must not block CI.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import __version__
+from repro.bench.registry import Benchmark, get_benchmark
+
+#: Version of the BENCH report schema.
+BENCH_VERSION = 1
+
+#: Top-level keys every report must carry.
+_REPORT_KEYS = ("bench_version", "repro_version", "suite", "generated_unix",
+                "benchmarks")
+
+#: Keys every benchmark entry must carry.
+_ENTRY_KEYS = ("name", "repeat", "warmup", "seconds", "median_seconds",
+               "p10_seconds", "p90_seconds", "extras")
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of a small sample."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    repeat: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Dict[str, object]:
+    """Warm up, time ``repeat`` runs, and return the report entry."""
+    repeat = repeat if repeat is not None else benchmark.repeat
+    warmup = warmup if warmup is not None else benchmark.warmup
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    for _ in range(warmup):
+        benchmark.fn()
+    seconds: List[float] = []
+    extras: Dict[str, object] = {}
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = benchmark.fn()
+        seconds.append(time.perf_counter() - start)
+        if result:
+            extras = dict(result)
+    return {
+        "name": benchmark.name,
+        "repeat": repeat,
+        "warmup": warmup,
+        "seconds": [round(value, 6) for value in seconds],
+        "median_seconds": round(statistics.median(seconds), 6),
+        "p10_seconds": round(_percentile(seconds, 0.10), 6),
+        "p90_seconds": round(_percentile(seconds, 0.90), 6),
+        "extras": extras,
+    }
+
+
+def run_suite(
+    names: Sequence[str],
+    suite: str,
+    repeat: Optional[int] = None,
+    warmup: Optional[int] = None,
+    progress: Optional[Callable[[int, int, Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Run the named benchmarks and build the full report document."""
+    entries: List[Dict[str, object]] = []
+    for index, name in enumerate(names):
+        entry = run_benchmark(get_benchmark(name), repeat=repeat,
+                              warmup=warmup)
+        entries.append(entry)
+        if progress is not None:
+            progress(index + 1, len(names), entry)
+    return {
+        "bench_version": BENCH_VERSION,
+        "repro_version": __version__,
+        "suite": suite,
+        "generated_unix": round(time.time(), 3),
+        "benchmarks": entries,
+    }
+
+
+def validate_bench_report(document: object) -> List[str]:
+    """Schema-check one BENCH report document.
+
+    Returns:
+        Human-readable problems; empty when the document is valid.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"report must be a JSON object, got {type(document).__name__}"]
+    for key in _REPORT_KEYS:
+        if key not in document:
+            problems.append(f"missing report key: {key}")
+    version = document.get("bench_version")
+    if "bench_version" in document and version != BENCH_VERSION:
+        problems.append(f"bench_version {version!r} != {BENCH_VERSION}")
+    entries = document.get("benchmarks")
+    if not isinstance(entries, list):
+        if "benchmarks" in document:
+            problems.append("'benchmarks' must be a list")
+        return problems
+    seen: set = set()
+    for position, entry in enumerate(entries):
+        where = f"benchmarks[{position}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in _ENTRY_KEYS:
+            if key not in entry:
+                problems.append(f"{where} is missing {key!r}")
+        name = entry.get("name")
+        if name in seen:
+            problems.append(f"{where} duplicates benchmark {name!r}")
+        seen.add(name)
+        seconds = entry.get("seconds")
+        if isinstance(seconds, list):
+            if len(seconds) != entry.get("repeat"):
+                problems.append(
+                    f"{where} carries {len(seconds)} timings for "
+                    f"repeat={entry.get('repeat')!r}")
+            if any(not isinstance(value, (int, float)) or value < 0
+                   for value in seconds):
+                problems.append(f"{where} has non-numeric or negative timings")
+        elif "seconds" in entry:
+            problems.append(f"{where} 'seconds' must be a list")
+        for key in ("median_seconds", "p10_seconds", "p90_seconds"):
+            value = entry.get(key)
+            if key in entry and (not isinstance(value, (int, float))
+                                 or value < 0):
+                problems.append(f"{where} {key!r} must be a non-negative "
+                                "number")
+        extras = entry.get("extras")
+        if "extras" in entry and not isinstance(extras, dict):
+            problems.append(f"{where} 'extras' must be an object")
+    return problems
+
+
+def write_report(document: Dict[str, object], path: str) -> str:
+    """Write the report (schema-checked first) and return ``path``."""
+    problems = validate_bench_report(document)
+    if problems:
+        raise ValueError("refusing to write an invalid BENCH report: "
+                         + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read and schema-check a report from disk.
+
+    Raises:
+        ValueError: when the document fails validation.
+    """
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    problems = validate_bench_report(document)
+    if problems:
+        raise ValueError(f"invalid BENCH report {path}: "
+                         + "; ".join(problems))
+    return document
+
+
+def compare_reports(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    threshold_pct: float,
+) -> Tuple[List[str], List[str]]:
+    """Median-vs-median regression check of ``new`` against ``old``.
+
+    Returns:
+        ``(regressions, notes)``. A benchmark regresses when its new median
+        is strictly more than ``threshold_pct`` percent above the old
+        median; an exactly-at-threshold change passes. Benchmarks new in
+        ``new``, dropped from ``new``, or with a non-positive old median
+        are reported as notes.
+    """
+    if threshold_pct < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold_pct}")
+    old_entries = {entry["name"]: entry for entry in old["benchmarks"]}
+    new_entries = {entry["name"]: entry for entry in new["benchmarks"]}
+    regressions: List[str] = []
+    notes: List[str] = []
+    for name in sorted(new_entries):
+        entry = new_entries[name]
+        baseline = old_entries.get(name)
+        if baseline is None:
+            notes.append(f"{name}: new benchmark (no baseline), skipped")
+            continue
+        old_median = float(baseline["median_seconds"])
+        new_median = float(entry["median_seconds"])
+        if old_median <= 0.0:
+            notes.append(f"{name}: baseline median is {old_median}s, "
+                         "change not comparable")
+            continue
+        change_pct = (new_median - old_median) / old_median * 100.0
+        line = (f"{name}: {old_median:.6f}s -> {new_median:.6f}s "
+                f"({change_pct:+.1f}%)")
+        if change_pct > threshold_pct:
+            regressions.append(f"{line} exceeds +{threshold_pct:g}%")
+        else:
+            notes.append(line)
+    for name in sorted(set(old_entries) - set(new_entries)):
+        notes.append(f"{name}: present in baseline but not in the new "
+                     "report")
+    return regressions, notes

@@ -1,0 +1,209 @@
+"""The seed benchmark suite (imported by ``registry.ensure_loaded``).
+
+Six benchmarks spanning the paths the repo cares about going fast:
+
+* ``dls_search`` — the dual-level solver end to end (the paper's own
+  search-time figure is the reason this repo tracks perf at all);
+* ``fig13_sweep_local`` — the batched in-process fig13 reduced sweep, with
+  the per-point baseline measured alongside so the report records the
+  batching speedup and a row-parity flag;
+* ``fig13_sweep_scheduler`` — the same sweep through a private scheduler
+  without batching (the seed evaluation path);
+* ``cache_key`` — scenario content hashing (the dedup identity every
+  server/sweep layer leans on);
+* ``scenario_serde`` — scenario document round-trips (the wire format);
+* ``server_roundtrip`` — plan requests through the real HTTP server and
+  client.
+
+Each callable is deterministic given the registry state; wall-clock noise
+is what the warmup + median/p10/p90 harness in :mod:`repro.bench.report`
+absorbs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.api.scenario import SCHEMA_VERSION, Scenario
+from repro.bench.registry import register_benchmark
+
+#: Lazily-built shared fixtures (expanded points, baseline timings).
+_STATE: Dict[str, object] = {}
+
+
+def _fig13_portfolio():
+    """The fig13 reduced portfolio and its expanded points (built once)."""
+    if "fig13" not in _STATE:
+        from repro.api.portfolio import ensure_loaded, get_portfolio
+
+        ensure_loaded()
+        portfolio = get_portfolio("fig13").build(True)
+        _STATE["fig13"] = (portfolio, portfolio.expand())
+    return _STATE["fig13"]
+
+
+def _search_scenario() -> Scenario:
+    """The dual-level search problem (mirrors the search-time figure)."""
+    return Scenario.from_dict({
+        "schema_version": SCHEMA_VERSION,
+        "workload": {"model": "gpt3-76b"},
+        "hardware": {},
+        "solver": {"scheme": "temp", "engine": "tcme",
+                   "max_candidates": 10, "ga_generations": 8},
+    })
+
+
+def _fixed_scenario_document() -> Dict[str, object]:
+    """A cheap pinned-spec scenario for protocol-level benchmarks."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": {"model": "gpt3-6.7b"},
+        "hardware": {},
+        "solver": {"scheme": "temp", "engine": "tcme",
+                   "fixed_spec": {"dp": 4, "tp": 8}},
+    }
+
+
+@register_benchmark(
+    name="dls_search",
+    title="Dual-level solver search on gpt3-76b",
+    description="One PlanService.solve: pruning, DP, genetic refinement, "
+                "and finalist simulation (the paper's search-time path).",
+    repeat=3,
+)
+def bench_dls_search() -> Optional[Dict[str, object]]:
+    from repro.api.service import PlanService
+
+    outcome = PlanService().solve(_search_scenario())
+    return {"evaluations": outcome.evaluations,
+            "finalists_simulated": outcome.finalists_simulated}
+
+
+@register_benchmark(
+    name="fig13_sweep_local",
+    title="fig13 reduced sweep, batched in-process",
+    description="run_portfolio_local with the BatchedPlanService (shared "
+                "routes/reports/tables); extras record the per-point "
+                "baseline, the batching speedup, and row parity.",
+    repeat=3,
+)
+def bench_fig13_sweep_local() -> Optional[Dict[str, object]]:
+    from repro.server.portfolio import run_portfolio_local
+
+    portfolio, points = _fig13_portfolio()
+    if "fig13_baseline" not in _STATE:
+        start = time.perf_counter()
+        baseline = run_portfolio_local(portfolio, jobs=1, points=points,
+                                       batched=False)
+        _STATE["fig13_baseline"] = (
+            time.perf_counter() - start,
+            [outcome.payload for outcome in baseline],
+        )
+    start = time.perf_counter()
+    outcomes = run_portfolio_local(portfolio, jobs=1, points=points,
+                                   batched=True)
+    batched_seconds = time.perf_counter() - start
+    baseline_seconds, baseline_payloads = _STATE["fig13_baseline"]
+    return {
+        "points": len(outcomes),
+        "unbatched_seconds": round(baseline_seconds, 6),
+        "batched_seconds": round(batched_seconds, 6),
+        "speedup": round(baseline_seconds / batched_seconds, 3),
+        "rows_identical": [outcome.payload for outcome in outcomes]
+        == baseline_payloads,
+    }
+
+
+@register_benchmark(
+    name="fig13_sweep_scheduler",
+    title="fig13 reduced sweep through the plan scheduler",
+    description="The unbatched per-point sweep on a private PlanScheduler "
+                "(dedup, batching windows, store wiring) — the seed "
+                "evaluation path the batched sweep is measured against.",
+    repeat=3,
+)
+def bench_fig13_sweep_scheduler() -> Optional[Dict[str, object]]:
+    from repro.server.portfolio import run_portfolio_local
+
+    portfolio, points = _fig13_portfolio()
+    outcomes = run_portfolio_local(portfolio, jobs=1, points=points,
+                                   batched=False)
+    return {"points": len(outcomes),
+            "unique": len({outcome.key for outcome in outcomes})}
+
+
+@register_benchmark(
+    name="cache_key",
+    title="Scenario cache-key hashing",
+    description="Canonical-JSON SHA-256 content hashing of the fig13 "
+                "points (the dedup identity of the server, the store, and "
+                "the sweep engine).",
+    repeat=5,
+)
+def bench_cache_key() -> Optional[Dict[str, object]]:
+    _, points = _fig13_portfolio()
+    rounds = 200
+    keys: set = set()
+    for _ in range(rounds):
+        for point in points:
+            keys.add(point.scenario.cache_key())
+    return {"hashes": rounds * len(points), "unique": len(keys)}
+
+
+@register_benchmark(
+    name="scenario_serde",
+    title="Scenario document round-trips",
+    description="to_dict -> JSON -> from_dict round-trips of the fig13 "
+                "points (the wire format of every server endpoint).",
+    repeat=5,
+)
+def bench_scenario_serde() -> Optional[Dict[str, object]]:
+    _, points = _fig13_portfolio()
+    rounds = 200
+    for _ in range(rounds):
+        for point in points:
+            document = json.loads(json.dumps(point.scenario.to_dict()))
+            restored = Scenario.from_dict(document)
+            if restored != point.scenario:
+                raise AssertionError("scenario round-trip changed the value")
+    return {"round_trips": rounds * len(points)}
+
+
+@register_benchmark(
+    name="server_roundtrip",
+    title="Plan request through the HTTP server",
+    description="A real PlanServer on an ephemeral port served by the "
+                "blocking PlanClient: one evaluated plan plus repeated "
+                "store-hit round-trips.",
+    repeat=3,
+)
+def bench_server_roundtrip() -> Optional[Dict[str, object]]:
+    import asyncio
+
+    from repro.server.client import PlanClient
+    from repro.server.http import PlanServer
+    from repro.server.resilience import RetryPolicy
+    from repro.server.scheduler import PlanScheduler
+
+    document = _fixed_scenario_document()
+    requests = 8
+    sources: List[str] = []
+
+    async def _run() -> None:
+        async with PlanServer(PlanScheduler(jobs=1), port=0) as server:
+            def drive() -> None:
+                client = PlanClient(
+                    port=server.port,
+                    retry=RetryPolicy(max_attempts=2, base_delay=0.01))
+                for _ in range(requests):
+                    client.plan(document)
+                    sources.append(client.last_source or "?")
+
+            await asyncio.to_thread(drive)
+
+    asyncio.run(_run())
+    return {"requests": requests,
+            "evaluated": sources.count("evaluated"),
+            "cached": len(sources) - sources.count("evaluated")}

@@ -105,6 +105,7 @@ def run_baseline_scenario(
     plan_cache: Optional[PlanCache] = None,
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
+    report_cache=None,
 ) -> BaselineResult:
     """Run the single-wafer baseline search described by ``scenario``.
 
@@ -113,7 +114,10 @@ def run_baseline_scenario(
     it to skip reconstruction. ``plan_cache`` lets a caller evaluating many
     scenarios — e.g. a sweep-orchestrator worker — share one memoised
     ``analyze_model`` across evaluations; the cache is pure memoisation, so
-    results are identical with a private or a shared cache.
+    results are identical with a private or a shared cache. ``report_cache``
+    (a :class:`repro.costmodel.portfolio.ReportCache`) additionally memoises
+    whole simulation reports across scenarios that pin the same wafer and
+    simulator configuration.
     """
     solver = scenario.solver
     return _search_baseline(
@@ -126,6 +130,7 @@ def run_baseline_scenario(
         pipeline_degrees=solver.pipeline_degrees,
         max_candidates=solver.max_candidates,
         plan_cache=plan_cache,
+        report_cache=report_cache,
     )
 
 
@@ -134,6 +139,7 @@ def simulate_fixed_spec(
     plan_cache: Optional[PlanCache] = None,
     wafer: Optional[WaferScaleChip] = None,
     config: Optional[SimulatorConfig] = None,
+    report_cache=None,
 ) -> BaselineResult:
     """Evaluate the one pinned configuration of a fixed-spec scenario.
 
@@ -151,7 +157,8 @@ def simulate_fixed_spec(
     simulator = WaferSimulator(wafer, config)
     report = _simulate_with_fallback(
         simulator, plan_cache, model, spec, wafer.num_dies, solver.engine,
-        allow_checkpointing=solver.allow_checkpoint_fallback)
+        allow_checkpointing=solver.allow_checkpoint_fallback,
+        report_cache=report_cache)
     return BaselineResult(
         scheme=solver.resolved_scheme(),
         engine=solver.engine,
@@ -172,8 +179,20 @@ def _simulate_with_fallback(
     num_devices: int,
     engine: str,
     allow_checkpointing: bool,
+    report_cache=None,
 ) -> SimulationReport:
-    """Simulate one spec, retrying with activation checkpointing on OOM."""
+    """Simulate one spec, retrying with activation checkpointing on OOM.
+
+    ``report_cache`` (duck-typed; see
+    :class:`repro.costmodel.portfolio.ReportCache`) memoises the final report
+    per ``(model, spec, num_devices, engine, allow_checkpointing)`` — valid
+    only while the simulator's wafer and config stay fixed, which the cache
+    owner guarantees by scoping one cache per hardware group.
+    """
+    if report_cache is not None:
+        return report_cache.simulate(
+            simulator, plan_cache, model, spec, num_devices, engine,
+            allow_checkpointing)
     plan = plan_cache.analyze(model, spec, num_devices=num_devices)
     report = simulator.simulate(plan, engine=engine)
     if report.oom and allow_checkpointing:
@@ -196,6 +215,7 @@ def _search_baseline(
     pipeline_degrees: Sequence[int] = (1,),
     max_candidates: Optional[int] = None,
     plan_cache: Optional[PlanCache] = None,
+    report_cache=None,
 ) -> BaselineResult:
     """Evaluate one scheme with one mapping engine on one model.
 
@@ -243,7 +263,8 @@ def _search_baseline(
     for spec in specs:
         report = _simulate_with_fallback(
             simulator, plan_cache, model, spec, num_devices, engine,
-            allow_checkpointing=allow_checkpointing)
+            allow_checkpointing=allow_checkpointing,
+            report_cache=report_cache)
         reports[spec.label()] = report
         if report.oom:
             if (fallback_report is None

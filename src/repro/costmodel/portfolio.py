@@ -1,0 +1,246 @@
+"""Portfolio-level batching of cost tables, reports, and routes.
+
+A portfolio sweep (:mod:`repro.api.portfolio`) evaluates many nearby
+scenarios: the points share a wafer geometry, most share a model, and axes
+that only touch :class:`~repro.api.scenario.SolverSpec` leave the underlying
+``ops x specs`` cost structure untouched. The per-point evaluation path
+nevertheless rebuilds everything from scratch. This module batches the three
+layers that repeat:
+
+* **routes** — :class:`~repro.hardware.topology.RouteTables` memoise
+  dimension-ordered paths, ring orderings, and hop factors on each wafer the
+  portfolio resolves (the dominant cost of mapping: the fig13 portfolio
+  re-derives the same routes tens of thousands of times);
+* **reports** — :class:`ReportCache` memoises whole simulation reports per
+  ``(model, spec, devices, engine, checkpointing)`` within one hardware
+  group, so points whose candidate sets overlap simulate each spec once;
+* **cost tables** — :class:`PortfolioTables.tables_for` hands the dual-level
+  solver one :class:`~repro.costmodel.tables.CostTables` per (hardware,
+  model), re-sliced with :meth:`~repro.costmodel.tables.CostTables.subset`
+  when an axis only narrows the candidate list.
+
+Every layer is pure memoisation of deterministic computations, so batched
+sweeps are bit-identical to the per-point path —
+``tests/costmodel/test_portfolio_batching.py`` pins the contract over the
+fig13 reduced portfolio.
+
+:class:`BatchedPlanService` bundles the three layers behind the standard
+:class:`~repro.api.service.PlanService` interface; ``run_portfolio_local``
+uses it by default for in-process sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.service import PlanService
+from repro.core.framework import _simulate_with_fallback
+from repro.costmodel.tables import CostTables, PlanCache
+from repro.hardware.topology import RouteTables
+from repro.hardware.wafer import WaferScaleChip
+from repro.parallelism.spec import ParallelSpec
+from repro.simulation.config import SimulatorConfig
+from repro.simulation.simulator import SimulationReport, WaferSimulator
+from repro.workloads.models import ModelConfig
+from repro.workloads.transformer import representative_layer_graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scenario import Scenario
+
+
+class ReportCache:
+    """Memoisation of :func:`_simulate_with_fallback` results.
+
+    Valid only while the simulator's wafer and :class:`SimulatorConfig` stay
+    fixed — the cache does not key on them. :class:`PortfolioTables` enforces
+    that contract by scoping one cache per hardware group (per canonical
+    hardware document), which is also why this class lives here rather than
+    in the service layer.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._reports: Dict[Tuple, SimulationReport] = {}
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def simulate(
+        self,
+        simulator: WaferSimulator,
+        plan_cache: PlanCache,
+        model: ModelConfig,
+        spec: ParallelSpec,
+        num_devices: int,
+        engine: str,
+        allow_checkpointing: bool,
+    ) -> SimulationReport:
+        """Memoised twin of :func:`_simulate_with_fallback`."""
+        key = (model, spec, num_devices, engine, allow_checkpointing)
+        report = self._reports.get(key)
+        if report is not None:
+            self.hits += 1
+            return report
+        self.misses += 1
+        report = _simulate_with_fallback(
+            simulator, plan_cache, model, spec, num_devices, engine,
+            allow_checkpointing)
+        self._reports[key] = report
+        return report
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: ``hits``, ``misses``, ``entries``."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._reports)}
+
+
+class PortfolioTables:
+    """Shared evaluation state for the points of one portfolio sweep.
+
+    Owns the report caches (one per hardware group), the solver cost tables
+    (one union table per hardware + model, re-sliced per candidate list),
+    and the route tables enabled on each wafer it primes. All state is
+    derived lazily as points arrive — the class needs no upfront knowledge
+    of the portfolio's axes.
+    """
+
+    def __init__(self) -> None:
+        self._report_caches: Dict[str, ReportCache] = {}
+        self._solver_tables: Dict[Tuple, CostTables] = {}
+        self._route_tables: Dict[int, RouteTables] = {}
+        self._wafers: List[WaferScaleChip] = []
+        self.tables_hits = 0
+        self.tables_misses = 0
+
+    # Grouping ------------------------------------------------------------------
+
+    @staticmethod
+    def hardware_key(scenario: "Scenario") -> str:
+        """Canonical JSON of the scenario's hardware section.
+
+        Two scenarios with the same key resolve the same wafer and simulator
+        configuration, which is the validity contract of :class:`ReportCache`
+        and of the solver tables.
+        """
+        return json.dumps(scenario.to_dict()["hardware"], sort_keys=True)
+
+    # Batching layers -----------------------------------------------------------
+
+    def prime_wafer(self, wafer: WaferScaleChip) -> RouteTables:
+        """Enable route memoisation on ``wafer`` (idempotent per instance)."""
+        tables = self._route_tables.get(id(wafer))
+        if tables is None:
+            tables = wafer.topology.enable_route_tables()
+            self._route_tables[id(wafer)] = tables
+            # Keep the wafer alive so the id() key cannot be recycled.
+            self._wafers.append(wafer)
+        return tables
+
+    def report_cache_for(self, scenario: "Scenario") -> ReportCache:
+        """The report cache of the scenario's hardware group."""
+        key = self.hardware_key(scenario)
+        cache = self._report_caches.get(key)
+        if cache is None:
+            cache = ReportCache()
+            self._report_caches[key] = cache
+        return cache
+
+    def tables_for(
+        self,
+        scenario: "Scenario",
+        model: ModelConfig,
+        candidates: Sequence[ParallelSpec],
+    ) -> CostTables:
+        """Cost tables for one solve, shared across the portfolio.
+
+        The first solve of a (hardware, model) pair builds the tables; later
+        solves reuse them outright when the candidate list matches, or as a
+        :meth:`CostTables.subset` gather when the list only narrows (e.g. a
+        ``max_candidates`` axis). A candidate list the stored tables do not
+        cover falls back to a fresh build, which then replaces the stored
+        tables when it is the larger problem.
+        """
+        key = (self.hardware_key(scenario), model)
+        wanted = list(candidates)
+        parent = self._solver_tables.get(key)
+        if parent is not None:
+            if parent.candidates == wanted:
+                self.tables_hits += 1
+                return parent
+            if all(spec in parent.spec_index for spec in wanted):
+                self.tables_hits += 1
+                return parent.subset(wanted)
+        self.tables_misses += 1
+        graph = representative_layer_graph(model)
+        config = scenario.hardware.resolve_simulator() or SimulatorConfig()
+        tables = CostTables(
+            graph, wanted, scenario.hardware.resolve_config(), config)
+        if parent is None or len(wanted) > len(parent.candidates):
+            self._solver_tables[key] = tables
+        return tables
+
+    # Telemetry -----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated plain-JSON counters across every batching layer."""
+        reports = {"hits": 0, "misses": 0, "entries": 0}
+        for cache in self._report_caches.values():
+            for field, value in cache.stats().items():
+                reports[field] += value
+        routes = {"hits": 0, "misses": 0, "entries": 0}
+        for tables in self._route_tables.values():
+            for field, value in tables.stats().items():
+                routes[field] += value
+        return {
+            "report_cache": reports,
+            "route_tables": routes,
+            "solver_tables": {
+                "hits": self.tables_hits,
+                "misses": self.tables_misses,
+                "entries": len(self._solver_tables),
+            },
+            "hardware_groups": len(self._report_caches),
+        }
+
+
+class BatchedPlanService(PlanService):
+    """A :class:`PlanService` that batches work across portfolio points.
+
+    Drop-in for the base service — same entry points, bit-identical results
+    — with three extra sharing layers (routes, reports, solver cost tables)
+    held in a :class:`PortfolioTables`. Used by ``run_portfolio_local`` for
+    in-process sweeps; pass ``batched=False`` there to get the per-point
+    baseline this service is benchmarked against.
+    """
+
+    def __init__(
+        self,
+        plan_cache: Optional[PlanCache] = None,
+        tables: Optional[PortfolioTables] = None,
+    ) -> None:
+        super().__init__(plan_cache=plan_cache)
+        self.tables = tables if tables is not None else PortfolioTables()
+
+    def wafer_for(self, hardware) -> WaferScaleChip:
+        wafer = super().wafer_for(hardware)
+        self.tables.prime_wafer(wafer)
+        return wafer
+
+    def _report_cache_for(self, scenario: "Scenario") -> ReportCache:
+        return self.tables.report_cache_for(scenario)
+
+    def _tables_provider_for(self, scenario: "Scenario"):
+        tables = self.tables
+
+        def provider(model: ModelConfig,
+                     candidates: Sequence[ParallelSpec]) -> CostTables:
+            return tables.tables_for(scenario, model, candidates)
+
+        return provider
+
+    def stats(self) -> Dict[str, object]:
+        payload = super().stats()
+        payload["portfolio"] = self.tables.stats()
+        return payload

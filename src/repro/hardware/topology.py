@@ -25,6 +25,46 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 Coord = Tuple[int, int]
 
 
+class RouteTables:
+    """Memoised pure routing decisions of one :class:`MeshTopology`.
+
+    A topology's health state is frozen at construction, so the expensive
+    pure functions the mapping layer calls per task — ring/chain orderings
+    of die groups, dimension-ordered route paths, ring hop factors — always
+    return the same value for the same arguments on the same topology
+    instance. The tables cache exactly those return values, so a cache hit
+    is bit-identical to a recomputation by construction.
+
+    The tables are opt-in (``MeshTopology.enable_route_tables``): the
+    default evaluation path stays memo-free, which is what the
+    batched-vs-per-point parity tests compare against. One batch layer
+    (:class:`repro.costmodel.portfolio.PortfolioTables`) enables them on
+    the wafer shared by a portfolio sweep, where the same groups and
+    src/dst pairs recur across every candidate spec of every point.
+
+    Attributes:
+        hits: lookups served from the tables.
+        misses: lookups that ran the underlying computation.
+    """
+
+    __slots__ = ("rings", "paths", "ring_hops", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.rings: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], bool]] = {}
+        self.paths: Dict[Tuple[int, int, bool], Tuple["Link", ...]] = {}
+        self.ring_hops: Dict[Tuple[Tuple[int, ...], bool], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot: ``hits``, ``misses``, ``entries``."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self.rings) + len(self.paths) + len(self.ring_hops),
+        }
+
+
 def die_id(row: int, col: int, cols: int) -> int:
     """Convert a (row, col) coordinate to a flat die id (row-major)."""
     return row * cols + col
@@ -84,6 +124,9 @@ class MeshTopology:
             self._failed_links.add((dst, src))
         self._links = self._build_links()
         self._adjacency = self._build_adjacency()
+        #: Optional routing memo (see :class:`RouteTables`); ``None`` keeps
+        #: every routing call memo-free.
+        self.route_tables: Optional[RouteTables] = None
 
     # Construction helpers ---------------------------------------------------
 
@@ -113,6 +156,16 @@ class MeshTopology:
         for neighbours in adjacency.values():
             neighbours.sort()
         return adjacency
+
+    def enable_route_tables(self) -> RouteTables:
+        """Attach (or return the existing) :class:`RouteTables` memo.
+
+        Safe because the mesh's health state is immutable after
+        construction; idempotent so several sharers converge on one memo.
+        """
+        if self.route_tables is None:
+            self.route_tables = RouteTables()
+        return self.route_tables
 
     # Basic queries ----------------------------------------------------------
 

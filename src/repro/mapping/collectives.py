@@ -36,10 +36,20 @@ def order_group_for_ring(
     members = list(group)
     if len(members) <= 1:
         return members, True
+    tables = topology.route_tables
+    key = tuple(members) if tables is not None else None
+    if tables is not None:
+        cached = tables.rings.get(key)
+        if cached is not None:
+            tables.hits += 1
+            return list(cached[0]), cached[1]
     ring = topology.contiguous_ring(members)
-    if ring is not None:
-        return ring, True
-    return _greedy_chain(topology, members), False
+    ordering, is_ring = ((ring, True) if ring is not None
+                         else (_greedy_chain(topology, members), False))
+    if tables is not None:
+        tables.misses += 1
+        tables.rings[key] = (tuple(ordering), is_ring)
+    return ordering, is_ring
 
 
 def _greedy_chain(topology: MeshTopology, members: Sequence[int]) -> List[int]:
@@ -60,10 +70,21 @@ def ring_hop_factor(
     """Worst hop distance between logically adjacent members of an ordering."""
     if len(ordering) <= 1:
         return 0
+    tables = topology.route_tables
+    key = (tuple(ordering), closed) if tables is not None else None
+    if tables is not None:
+        cached = tables.ring_hops.get(key)
+        if cached is not None:
+            tables.hits += 1
+            return cached
     pairs = list(zip(ordering, list(ordering[1:])))
     if closed:
         pairs.append((ordering[-1], ordering[0]))
-    return max(topology.hop_distance(a, b) for a, b in pairs)
+    worst = max(topology.hop_distance(a, b) for a, b in pairs)
+    if tables is not None:
+        tables.misses += 1
+        tables.ring_hops[key] = worst
+    return worst
 
 
 def expand_task(
@@ -178,8 +199,7 @@ def _expand_stream(
     chain_pairs = list(zip(ordering, ordering[1:]))
     hop_factor = 1
     if chain_pairs:
-        hop_factor = max(
-            topology.hop_distance(a, b) for a, b in chain_pairs)
+        hop_factor = ring_hop_factor(topology, ordering, closed=False)
     flows: List[Flow] = []
     for src, dst in chain_pairs:
         for a, b in ((src, dst), (dst, src)):

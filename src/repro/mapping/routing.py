@@ -87,16 +87,26 @@ def route_flow(
     if src == dst:
         path: List[Link] = []
     else:
-        try:
-            path = (topology.yx_route(src, dst) if prefer_yx
-                    else topology.xy_route(src, dst))
-        except KeyError:
-            found = topology.shortest_path(src, dst)
-            if found is None:
-                raise ValueError(
-                    f"no route between die {src} and die {dst} "
-                    "(too many failed links)") from None
-            path = found
+        tables = topology.route_tables
+        cached = tables.paths.get((src, dst, prefer_yx)) \
+            if tables is not None else None
+        if cached is not None:
+            tables.hits += 1
+            path = list(cached)
+        else:
+            try:
+                path = (topology.yx_route(src, dst) if prefer_yx
+                        else topology.xy_route(src, dst))
+            except KeyError:
+                found = topology.shortest_path(src, dst)
+                if found is None:
+                    raise ValueError(
+                        f"no route between die {src} and die {dst} "
+                        "(too many failed links)") from None
+                path = found
+            if tables is not None:
+                tables.misses += 1
+                tables.paths[(src, dst, prefer_yx)] = tuple(path)
     return Flow(
         src=src,
         dst=dst,

@@ -19,6 +19,10 @@ Sub-commands::
     repro sweep --list                 # registered portfolios
     repro check                        # every figure has a valid manifest
     repro docs [--check]               # (re)generate / verify EXPERIMENTS.md
+                                       # and BENCHMARKS.md
+    repro bench all --repeat 3 --json BENCH_ci.json   # run benchmark suite
+    repro bench --list                 # registered benchmarks
+    repro bench --compare BENCH_baseline.json BENCH_ci.json --threshold 40
 """
 
 from __future__ import annotations
@@ -175,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="manifest directory (default: %(default)s)")
     sweep.add_argument("--no-write", action="store_true",
                        help="run without writing the manifest")
+    sweep.add_argument("--no-batched", action="store_true",
+                       help="disable portfolio batching (shared route "
+                            "tables / reports / cost tables) for local "
+                            "jobs=1 sweeps; results are bit-identical "
+                            "either way")
     sweep.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
                        help="server-mode progress poll interval "
                             "(default: %(default)s)")
@@ -189,12 +198,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="manifest directory (default: %(default)s)")
 
     docs = sub.add_parser(
-        "docs", help="regenerate EXPERIMENTS.md from the registry")
+        "docs", help="regenerate EXPERIMENTS.md and BENCHMARKS.md from "
+                     "the registries")
     docs.add_argument("--check", action="store_true",
-                      help="verify EXPERIMENTS.md is up to date instead of "
-                           "writing it")
+                      help="verify the generated docs are up to date "
+                           "instead of writing them")
     docs.add_argument("--output", default=docs_module.DEFAULT_PATH,
-                      help="output path (default: %(default)s)")
+                      help="EXPERIMENTS.md path (default: %(default)s)")
+    docs.add_argument("--benchmarks-output",
+                      default=docs_module.BENCHMARKS_PATH,
+                      help="BENCHMARKS.md path (default: %(default)s)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run registered benchmarks (warmup + timed repeats) and emit "
+             "or compare BENCH_*.json perf reports")
+    bench.add_argument("name", nargs="?", default="all",
+                       help="benchmark name, or 'all' (default)")
+    bench.add_argument("--list", action="store_true", dest="list_benchmarks",
+                       help="list the registered benchmarks and exit")
+    bench.add_argument("--repeat", type=int, default=None, metavar="N",
+                       help="timed runs per benchmark (default: each "
+                            "benchmark's own)")
+    bench.add_argument("--warmup", type=int, default=None, metavar="N",
+                       help="untimed warmup runs (default: each "
+                            "benchmark's own)")
+    bench.add_argument("--json", metavar="OUT", dest="json_out", default=None,
+                       help="write the schema-validated BENCH report here")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                       default=None,
+                       help="compare two BENCH reports instead of running; "
+                            "exits non-zero on a median regression beyond "
+                            "--threshold")
+    bench.add_argument("--threshold", type=float, default=20.0,
+                       metavar="PCT",
+                       help="regression threshold for --compare, in "
+                            "percent (default: %(default)s)")
     return parser
 
 
@@ -523,7 +562,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         try:
             outcomes = run_portfolio_local(
                 portfolio, jobs=args.jobs, store=_sweep_store(args),
-                points=points, on_unique=_progress)
+                points=points, on_unique=_progress,
+                batched=False if args.no_batched else None)
         except PortfolioError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -631,15 +671,84 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_docs(args: argparse.Namespace) -> int:
+    documents = (
+        (args.output, docs_module.check_experiments_md,
+         docs_module.write_experiments_md),
+        (args.benchmarks_output, docs_module.check_benchmarks_md,
+         docs_module.write_benchmarks_md),
+    )
     if args.check:
-        if docs_module.check_experiments_md(args.output):
-            print(f"{args.output} is up to date")
-            return 0
-        print(f"{args.output} is stale; regenerate with "
-              f"`python -m repro docs`", file=sys.stderr)
-        return 1
-    path = docs_module.write_experiments_md(args.output)
-    print(f"wrote {path}")
+        status = 0
+        for path, check, _ in documents:
+            if check(path):
+                print(f"{path} is up to date")
+            else:
+                print(f"{path} is stale; regenerate with "
+                      f"`python -m repro docs`", file=sys.stderr)
+                status = 1
+        return status
+    for path, _, write in documents:
+        print(f"wrote {write(path)}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        try:
+            old = bench.load_report(old_path)
+            new = bench.load_report(new_path)
+            regressions, notes = bench.compare_reports(
+                old, new, threshold_pct=args.threshold)
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for note in notes:
+            print(f"  ok {note}")
+        for regression in regressions:
+            print(f"  REGRESSION {regression}", file=sys.stderr)
+        if regressions:
+            print(f"{len(regressions)} benchmark(s) regressed beyond "
+                  f"{args.threshold:g}%", file=sys.stderr)
+            return 1
+        print(f"no regressions beyond {args.threshold:g}% "
+              f"({len(new['benchmarks'])} benchmarks compared)")
+        return 0
+
+    if args.list_benchmarks:
+        benchmarks = bench.all_benchmarks()
+        width = max(len(entry.name) for entry in benchmarks)
+        for entry in benchmarks:
+            print(f"{entry.name:<{width}}  repeat={entry.repeat} "
+                  f"warmup={entry.warmup}  {entry.title}")
+        return 0
+
+    if args.name == "all":
+        names = bench.benchmark_names()
+        suite = "ci" if args.json_out else "all"
+    else:
+        try:
+            bench.get_benchmark(args.name)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        names = [args.name]
+        suite = args.name
+
+    def _progress(completed, total, entry):
+        print(f"  [{completed}/{total}] {entry['name']}: "
+              f"median {entry['median_seconds']:.4f}s "
+              f"(p10 {entry['p10_seconds']:.4f}s, "
+              f"p90 {entry['p90_seconds']:.4f}s, "
+              f"repeat {entry['repeat']})")
+
+    report = bench.run_suite(names, suite=suite, repeat=args.repeat,
+                             warmup=args.warmup, progress=_progress)
+    if args.json_out is not None:
+        path = bench.write_report(report, args.json_out)
+        print(f"wrote {path}")
     return 0
 
 
@@ -662,6 +771,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_check(args)
     if args.command == "docs":
         return _cmd_docs(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

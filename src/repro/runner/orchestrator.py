@@ -17,6 +17,7 @@ this for a real figure.
 from __future__ import annotations
 
 import copy
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -36,7 +37,14 @@ _WORKER_CONTEXT: Optional[RunContext] = None
 
 @dataclass
 class CellOutcome:
-    """Execution record of one grid cell."""
+    """Execution record of one grid cell.
+
+    ``cache_stats``/``pid`` snapshot the executing process's plan-cache
+    counters right after the cell: counters are cumulative per process, so
+    the manifest aggregation keeps the *last* snapshot per pid and sums
+    across pids — giving fleet-wide hit rates under ``--jobs > 1`` instead
+    of just the parent's (historically empty) counters.
+    """
 
     params: Dict[str, object]
     rows: List[Dict[str, object]]
@@ -44,6 +52,8 @@ class CellOutcome:
     oom_rows: int
     error: Optional[str] = None
     retries: int = 0
+    cache_stats: Optional[Dict[str, int]] = None
+    pid: int = 0
 
 
 def execute_cell(
@@ -80,8 +90,14 @@ def execute_cell(
             break
     wall = time.perf_counter() - start
     oom_rows = sum(1 for row in rows if row.get("oom"))
+    # Chaos/unit harnesses drive cells with a stub context; they simply
+    # contribute no cache snapshot.
+    plan_cache = getattr(ctx, "plan_cache", None)
     return CellOutcome(params=params, rows=rows, wall_seconds=wall,
-                       oom_rows=oom_rows, error=error, retries=attempts - 1)
+                       oom_rows=oom_rows, error=error, retries=attempts - 1,
+                       cache_stats=(plan_cache.stats()
+                                    if plan_cache is not None else None),
+                       pid=os.getpid())
 
 
 def _init_worker(reduced: bool) -> None:
@@ -221,6 +237,30 @@ def _report(progress: Optional[Callable[[str], None]], figure: str,
     progress(f"  [{figure}] {params}: {status} ({outcome.wall_seconds:.2f}s)")
 
 
+def aggregate_cache_stats(outcomes: List[CellOutcome]) -> Dict[str, object]:
+    """Fleet-wide plan-cache counters from per-cell snapshots.
+
+    Counters are cumulative within a process, so only the last snapshot of
+    each pid contributes; sums across pids are the whole fleet's totals.
+    The parent process of a pooled run executes no cells, so its (empty)
+    counters rightly never appear.
+    """
+    latest: Dict[int, Dict[str, int]] = {}
+    for outcome in outcomes:
+        if outcome.cache_stats is not None:
+            latest[outcome.pid] = outcome.cache_stats
+    totals = {"hits": 0, "misses": 0, "entries": 0}
+    for snapshot in latest.values():
+        for key in totals:
+            totals[key] += int(snapshot.get(key, 0))
+    lookups = totals["hits"] + totals["misses"]
+    return {
+        "processes": len(latest),
+        **totals,
+        "hit_rate": round(totals["hits"] / lookups, 4) if lookups else 0.0,
+    }
+
+
 def _build_manifest(
     experiment: Experiment,
     outcomes: List[CellOutcome],
@@ -252,6 +292,7 @@ def _build_manifest(
             for outcome in outcomes
         ],
         "rows": [row for outcome in outcomes for row in outcome.rows],
+        "plan_cache": aggregate_cache_stats(outcomes),
         "timings": {
             "total_seconds": round(total_seconds, 6),
             "max_cell_seconds": round(max(cell_seconds), 6) if cell_seconds else 0.0,

@@ -63,6 +63,7 @@ class DualLevelWaferSolver:
         genetic_config: Optional[GeneticConfig] = None,
         num_finalists: int = 8,
         mapping_engine: str = "tcme",
+        tables_provider=None,
     ) -> None:
         if num_finalists < 1:
             raise ValueError("num_finalists must be at least 1")
@@ -72,6 +73,10 @@ class DualLevelWaferSolver:
                                                               population_size=16)
         self.num_finalists = num_finalists
         self.mapping_engine = mapping_engine
+        # Optional (model, candidates) -> CostTables hook letting a portfolio
+        # runner share tables across solves; see
+        # repro.costmodel.portfolio.PortfolioTables.tables_for.
+        self.tables_provider = tables_provider
         self.simulator = WaferSimulator(self.wafer, self.config)
 
     def solve(
@@ -99,10 +104,16 @@ class DualLevelWaferSolver:
         if not candidates:
             candidates = space.candidates()
 
-        # One set of vectorized cost tables feeds both solver levels.
-        layer_graph = representative_layer_graph(model)
-        tables = CostTables(
-            layer_graph, candidates, self.wafer.config, self.config)
+        # One set of vectorized cost tables feeds both solver levels. A
+        # provider (portfolio batching) hands back tables built over its own
+        # representative graph, so the solve must adopt that graph too.
+        if self.tables_provider is not None:
+            tables = self.tables_provider(model, candidates)
+            layer_graph = tables.graph
+        else:
+            layer_graph = representative_layer_graph(model)
+            tables = CostTables(
+                layer_graph, candidates, self.wafer.config, self.config)
 
         # Level 1: dynamic program over the representative layer.
         dp_result = optimize_segments(

@@ -1,0 +1,140 @@
+"""Portfolio batching: subset gathers, shared tables, sweep bit-parity.
+
+The batching layers of :mod:`repro.costmodel.portfolio` are pure
+memoisation, so every test here is an exact-equality test — no tolerances:
+a batched sweep must be indistinguishable from the per-point path it
+replaces.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.costmodel.portfolio import BatchedPlanService, PortfolioTables
+from repro.costmodel.tables import CostTables
+from repro.hardware.config import default_wafer_config
+from repro.parallelism.spec import ParallelSpec
+from repro.simulation.config import SimulatorConfig
+from repro.workloads.transformer import representative_layer_graph
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    return [
+        ParallelSpec(dp=32),
+        ParallelSpec(dp=4, tatp=8),
+        ParallelSpec(dp=2, tp=2, tatp=8),
+        ParallelSpec(fsdp=32),
+        ParallelSpec(tp=8, sp=4),
+        ParallelSpec(dp=2, cp=2, tp=8),
+    ]
+
+
+@pytest.fixture(scope="module")
+def parent_tables(gpt3_6b, candidates):
+    graph = representative_layer_graph(gpt3_6b)
+    return CostTables(graph, candidates, default_wafer_config(),
+                      SimulatorConfig())
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    from repro.api.portfolio import ensure_loaded, get_portfolio
+
+    ensure_loaded()
+    portfolio = get_portfolio("fig13").build(True)
+    return portfolio, portfolio.expand()
+
+
+class TestSubset:
+    def test_gathered_cells_bit_identical_to_fresh_build(
+            self, gpt3_6b, candidates, parent_tables):
+        sub = [candidates[4], candidates[1], candidates[2]]
+        child = parent_tables.subset(sub)
+        fresh = CostTables(parent_tables.graph, sub, default_wafer_config(),
+                           SimulatorConfig())
+        assert child.candidates == sub
+        np.testing.assert_array_equal(child.intra_matrix(),
+                                      fresh.intra_matrix())
+        for node in parent_tables.graph.nodes():
+            np.testing.assert_array_equal(child.memory_row(node.node_id),
+                                          fresh.memory_row(node.node_id))
+            np.testing.assert_array_equal(
+                child.reshard_matrix(node.node_id),
+                fresh.reshard_matrix(node.node_id))
+
+    def test_uncovered_candidate_rejected(self, parent_tables):
+        with pytest.raises(ValueError, match="not covered"):
+            parent_tables.subset([ParallelSpec(tatp=32)])
+
+
+class TestPortfolioTables:
+    def test_exact_candidate_match_returns_shared_tables(self, fig13):
+        portfolio, points = fig13
+        scenario = points[0].scenario
+        model = scenario.workload.resolve()
+        specs = [ParallelSpec(dp=32), ParallelSpec(fsdp=32)]
+        tables = PortfolioTables()
+        first = tables.tables_for(scenario, model, specs)
+        second = tables.tables_for(scenario, model, specs)
+        assert second is first
+        assert tables.tables_misses == 1 and tables.tables_hits == 1
+
+    def test_narrowed_candidates_reuse_parent_cells(self, fig13):
+        _, points = fig13
+        scenario = points[0].scenario
+        model = scenario.workload.resolve()
+        specs = [ParallelSpec(dp=32), ParallelSpec(fsdp=32),
+                 ParallelSpec(tp=8, sp=4)]
+        tables = PortfolioTables()
+        parent = tables.tables_for(scenario, model, specs)
+        parent.intra_matrix()
+        child = tables.tables_for(scenario, model, specs[:2])
+        assert tables.tables_hits == 1
+        np.testing.assert_array_equal(child.intra_matrix(),
+                                      parent.intra_matrix()[:, :2])
+
+    def test_stats_shape(self):
+        stats = PortfolioTables().stats()
+        assert set(stats) == {"report_cache", "route_tables",
+                              "solver_tables", "hardware_groups"}
+        assert stats["solver_tables"] == {"hits": 0, "misses": 0,
+                                          "entries": 0}
+
+
+class TestBatchedSweepParity:
+    def test_fig13_reduced_rows_bit_identical(self, fig13):
+        """The tentpole contract: batched == per-point, byte for byte."""
+        from repro.server.portfolio import run_portfolio_local
+
+        portfolio, points = fig13
+        baseline = run_portfolio_local(portfolio, jobs=1, points=points,
+                                       batched=False)
+        batched = run_portfolio_local(portfolio, jobs=1, points=points,
+                                      batched=True)
+        assert len(batched) == len(baseline) == len(points)
+        base_payloads = [outcome.payload for outcome in baseline]
+        batch_payloads = [outcome.payload for outcome in batched]
+        assert batch_payloads == base_payloads
+        assert (json.dumps(batch_payloads, sort_keys=True)
+                == json.dumps(base_payloads, sort_keys=True))
+
+    def test_batched_with_workers_rejected(self, fig13):
+        from repro.server.portfolio import run_portfolio_local
+
+        portfolio, points = fig13
+        with pytest.raises(ValueError, match="in-process"):
+            run_portfolio_local(portfolio, jobs=2, points=points,
+                                batched=True)
+
+    def test_batched_service_records_sharing(self, fig13):
+        """Evaluating two overlapping points must hit every batching layer."""
+        _, points = fig13
+        service = BatchedPlanService()
+        service.evaluate(points[0].scenario)
+        service.evaluate(points[0].scenario)
+        stats = service.stats()["portfolio"]
+        assert stats["route_tables"]["hits"] > 0
+        assert stats["report_cache"]["hits"] > 0
+        assert stats["hardware_groups"] == 1

@@ -165,3 +165,47 @@ class TestCLI:
         stale = tmp_path / "EXPERIMENTS.md"
         stale.write_text("# stale\n")
         assert main(["docs", "--check", "--output", str(stale)]) == 1
+
+
+class TestCacheStatsAggregation:
+    def test_last_snapshot_per_pid_wins(self):
+        """Counters are cumulative per process: summing every snapshot would
+        double-count, so only each pid's final snapshot contributes.
+        """
+        from repro.runner.orchestrator import CellOutcome, aggregate_cache_stats
+
+        def outcome(pid, hits, misses, entries):
+            return CellOutcome(params={}, rows=[], wall_seconds=0.0,
+                               oom_rows=0, pid=pid,
+                               cache_stats={"hits": hits, "misses": misses,
+                                            "entries": entries})
+
+        stats = aggregate_cache_stats([
+            outcome(100, 1, 5, 5),    # superseded by the later pid-100 snapshot
+            outcome(200, 2, 3, 3),
+            outcome(100, 10, 6, 6),
+        ])
+        assert stats == {"processes": 2, "hits": 12, "misses": 9,
+                         "entries": 9, "hit_rate": round(12 / 21, 4)}
+
+    def test_no_snapshots_is_all_zero(self):
+        from repro.runner.orchestrator import CellOutcome, aggregate_cache_stats
+
+        stats = aggregate_cache_stats([
+            CellOutcome(params={}, rows=[], wall_seconds=0.0, oom_rows=0)])
+        assert stats == {"processes": 0, "hits": 0, "misses": 0,
+                         "entries": 0, "hit_rate": 0.0}
+
+    def test_manifest_carries_fleet_wide_counters(self):
+        # fig13 derives execution plans, so its cells actually touch the
+        # plan cache (fig09 is a pure search-time figure and would not).
+        serial = run_experiment("fig13", reduced=True, jobs=1)
+        pooled = run_experiment("fig13", reduced=True, jobs=2)
+        for manifest in (serial, pooled):
+            cache = manifest["plan_cache"]
+            assert cache["processes"] >= 1
+            assert cache["hits"] + cache["misses"] > 0
+            assert 0.0 <= cache["hit_rate"] <= 1.0
+        # The pooled run aggregates every worker, not just the parent
+        # (which executes no cells and would report zeros).
+        assert pooled["plan_cache"]["misses"] > 0
