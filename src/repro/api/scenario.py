@@ -29,6 +29,12 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.hardware.config import WaferConfig, default_wafer_config
 from repro.hardware.faults import FaultModel
+from repro.hardware.topologies import (
+    DEFAULT_TOPOLOGY,
+    Topology,
+    build_topology,
+    validate_topology_spec,
+)
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import BaselineScheme
 from repro.parallelism.spec import ParallelSpec
@@ -106,6 +112,13 @@ class HardwareSpec:
             a fault-tolerance evaluation at that rate (0.0 is a valid rate:
             the fault path runs with an empty fault model). Faults are
             sampled deterministically from the solver's ``seed``.
+        topology: optional interconnect-fabric spec dict
+            (``{"name": ..., **params}``, see
+            :mod:`repro.hardware.topologies`). ``None`` means the default
+            mesh; an explicit ``{"name": "mesh"}`` is equivalent but
+            cache-key distinct. Non-mesh fabrics are single-wafer only and
+            cannot be combined with fault injection (those paths model the
+            mesh fabric).
     """
 
     platform: str = "wafer"
@@ -118,6 +131,7 @@ class HardwareSpec:
     num_microbatches: int = 16
     link_fault_rate: Optional[float] = None
     core_fault_rate: Optional[float] = None
+    topology: Optional[Mapping[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.platform not in ("wafer", "gpu_cluster"):
@@ -127,6 +141,12 @@ class HardwareSpec:
         if self.rows < 1 or self.cols < 1:
             raise ScenarioError(
                 f"die grid must be positive, got {self.rows}x{self.cols}")
+        if self.topology is not None:
+            object.__setattr__(self, "topology", dict(self.topology))
+            try:
+                validate_topology_spec(self.topology, self.rows, self.cols)
+            except ValueError as error:
+                raise ScenarioError(f"invalid topology: {error}") from None
         if self.num_wafers < 1:
             raise ScenarioError(f"num_wafers must be >= 1, got {self.num_wafers}")
         if self.num_microbatches < 1:
@@ -145,6 +165,10 @@ class HardwareSpec:
             if self.link_fault_rate is not None or self.core_fault_rate is not None:
                 raise ScenarioError(
                     "fault injection is only modelled on the wafer platform")
+            if self.topology is not None:
+                raise ScenarioError(
+                    "topology describes the wafer fabric and does not apply "
+                    "to the gpu_cluster comparator")
             defaults = HardwareSpec.__dataclass_fields__
             if ((self.rows, self.cols) != (defaults["rows"].default,
                                            defaults["cols"].default)
@@ -159,6 +183,19 @@ class HardwareSpec:
             raise ScenarioError(
                 "fault injection on multi-wafer systems is not modelled; "
                 "use num_wafers=1 for fault studies")
+        # The multi-wafer and fault paths build their wafers internally and
+        # model the mesh fabric; only allow non-mesh topologies where the
+        # fabric actually threads through (the single-wafer paths).
+        if (self.topology is not None
+                and self.topology.get("name") != DEFAULT_TOPOLOGY):
+            if self.num_wafers > 1:
+                raise ScenarioError(
+                    "non-mesh topologies are single-wafer only; the "
+                    "multi-wafer path models mesh wafers")
+            if self.has_fault_study:
+                raise ScenarioError(
+                    "fault injection is only modelled on the mesh fabric; "
+                    "drop the fault rates or use the mesh topology")
 
     @property
     def has_fault_study(self) -> bool:
@@ -180,7 +217,11 @@ class HardwareSpec:
 
     def resolve_wafer(self) -> WaferScaleChip:
         """A healthy wafer built from :meth:`resolve_config`."""
-        return WaferScaleChip(self.resolve_config())
+        return WaferScaleChip(self.resolve_config(), topology=self.topology)
+
+    def resolve_topology(self) -> "Topology":
+        """The healthy interconnect fabric this spec describes."""
+        return build_topology(self.topology, self.rows, self.cols)
 
     def resolve_simulator(self) -> Optional[SimulatorConfig]:
         """Simulator knobs, or ``None`` when the defaults apply unchanged."""

@@ -17,6 +17,7 @@ simulation reports or :class:`~repro.parallelism.spec.ParallelSpec` objects.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple, Union
@@ -328,9 +329,11 @@ class PlanService:
     # Resolution caches ------------------------------------------------------------
 
     def wafer_for(self, hardware: HardwareSpec) -> WaferScaleChip:
-        """A healthy wafer for ``hardware``, built once per geometry."""
+        """A healthy wafer for ``hardware``, built once per geometry + fabric."""
+        topology = (json.dumps(hardware.topology, sort_keys=True)
+                    if hardware.topology is not None else None)
         key = (hardware.rows, hardware.cols, hardware.d2d_bandwidth,
-               hardware.hbm_capacity)
+               hardware.hbm_capacity, topology)
         wafer = self._wafers.get(key)
         if wafer is None:
             wafer = hardware.resolve_wafer()

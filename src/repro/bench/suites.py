@@ -1,6 +1,6 @@
 """The seed benchmark suite (imported by ``registry.ensure_loaded``).
 
-Six benchmarks spanning the paths the repo cares about going fast:
+Seven benchmarks spanning the paths the repo cares about going fast:
 
 * ``dls_search`` — the dual-level solver end to end (the paper's own
   search-time figure is the reason this repo tracks perf at all);
@@ -13,7 +13,9 @@ Six benchmarks spanning the paths the repo cares about going fast:
   server/sweep layer leans on);
 * ``scenario_serde`` — scenario document round-trips (the wire format);
 * ``server_roundtrip`` — plan requests through the real HTTP server and
-  client.
+  client;
+* ``topology_routing`` — construction plus routing/ring queries across
+  every registered fabric family of the topology zoo.
 
 Each callable is deterministic given the registry state; wall-clock noise
 is what the warmup + median/p10/p90 harness in :mod:`repro.bench.report`
@@ -207,3 +209,44 @@ def bench_server_roundtrip() -> Optional[Dict[str, object]]:
     return {"requests": requests,
             "evaluated": sources.count("evaluated"),
             "cached": len(sources) - sources.count("evaluated")}
+
+
+@register_benchmark(
+    name="topology_routing",
+    title="Topology zoo construction and routing",
+    description="Builds every registered fabric family on the default "
+                "4x8 wafer geometry, then runs the mapping-layer hot "
+                "queries on each: canonical routes, hop costs, and "
+                "contiguous-ring enumeration for the standard group sizes.",
+    repeat=5,
+)
+def bench_topology_routing() -> Optional[Dict[str, object]]:
+    from repro.hardware.topologies import build_topology, topology_names
+
+    rows, cols = 4, 8
+    constructions = 0
+    routes = 0
+    rings = 0
+    for name in topology_names():
+        for _ in range(10):
+            topology = build_topology({"name": name}, rows, cols)
+            constructions += 1
+        dies = topology.dies()
+        for src in dies:
+            for dst in dies:
+                if src == dst:
+                    continue
+                path = topology.xy_route(src, dst)
+                if len(path) != topology.hop_distance(src, dst):
+                    raise AssertionError(
+                        f"{name}: route length != hop distance")
+                topology.hop_cost(src, dst)
+                routes += 1
+        for group_size in (2, 4, 8, 16, 32):
+            for group in topology.partition_into_groups(group_size):
+                topology.contiguous_ring(group)
+                rings += 1
+    return {"families": len(topology_names()),
+            "constructions": constructions,
+            "routes": routes,
+            "rings": rings}

@@ -175,8 +175,12 @@ class PortfolioTables:
         self.tables_misses += 1
         graph = representative_layer_graph(model)
         config = scenario.hardware.resolve_simulator() or SimulatorConfig()
+        # Same analytic hop factor the unbatched solve derives from its
+        # wafer's fabric — required for batched == per-point row parity.
+        hop_factor = scenario.hardware.resolve_topology().collective_hop_factor()
         tables = CostTables(
-            graph, wanted, scenario.hardware.resolve_config(), config)
+            graph, wanted, scenario.hardware.resolve_config(), config,
+            hop_factor=hop_factor)
         if parent is None or len(wanted) > len(parent.candidates):
             self._solver_tables[key] = tables
         return tables

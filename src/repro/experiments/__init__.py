@@ -22,6 +22,7 @@ all derived from it.
 | Fig. 20       | :mod:`repro.experiments.fig20_fault_tolerance` |
 | Fig. 21       | :mod:`repro.experiments.fig21_cost_model` |
 | §VIII-H       | :mod:`repro.experiments.search_time` |
+| topology zoo  | :mod:`repro.experiments.fabric_zoo` |
 """
 
 import importlib
@@ -40,6 +41,7 @@ from repro.experiments import fig19_multiwafer  # noqa: F401
 from repro.experiments import fig20_fault_tolerance  # noqa: F401
 from repro.experiments import fig21_cost_model  # noqa: F401
 from repro.experiments import search_time  # noqa: F401
+from repro.experiments import fabric_zoo  # noqa: F401
 
 # Importing the portfolios module re-registers the sweepable grids with the
 # portfolio registry (repro.api.portfolio).

@@ -9,14 +9,17 @@ columns from the served :class:`~repro.api.service.PlanResult` payloads.
 ``repro run fig13 --reduced`` — pinned in ``tests/server/test_portfolio.py``
 and the CI sweep smoke.
 
-Three grid shapes are covered to prove the abstraction:
+Four grid shapes are covered to prove the abstraction:
 
 * ``fig13`` — a plain cartesian product (model x system), where the system
   axis swaps the whole solver section under a readable label;
 * ``fig17`` — a zipped expansion enumerating pinned parallel configs, with
   annotation axes carrying the per-config row columns;
 * ``fig19`` — a zipped product whose hardware (wafer count) is a function
-  of the model axis.
+  of the model axis;
+* ``fabric_zoo`` — a zipped model x fabric grid whose topology axis swaps
+  ``hardware.topology`` specs (``None`` for the default mesh) under fabric
+  labels, with a model-dependent pinned solver riding along unrecorded.
 """
 
 from __future__ import annotations
@@ -24,6 +27,12 @@ from __future__ import annotations
 from typing import Dict, List, Mapping
 
 from repro.api.portfolio import Portfolio, PortfolioAxis, register_portfolio
+from repro.experiments.fabric_zoo import (
+    FABRICS,
+    MODELS as FABRIC_ZOO_MODELS,
+    FAST_MODELS as FABRIC_ZOO_FAST_MODELS,
+    scenario_for_fabric,
+)
 from repro.experiments.fig13_overall import (
     FAST_MODELS,
     SYSTEMS,
@@ -143,6 +152,61 @@ def fig17_portfolio(reduced: bool = False) -> Portfolio:
             PortfolioAxis(name="tatp", values=tuple(columns["tatp"])),
             PortfolioAxis(name="workload", path="workload", record=False,
                           values=tuple(columns["workload"])),
+            PortfolioAxis(name="solver", path="solver", record=False,
+                          values=tuple(columns["solver"])),
+        ),
+    )
+
+
+def fabric_zoo_row(params: Mapping[str, object],
+                   payload: Mapping[str, object]) -> Dict[str, object]:
+    """One fabric-zoo manifest row from a served plan payload."""
+    return {
+        "spec": payload["spec"] if payload["spec"] else "-",
+        "oom": payload["oom"],
+        "step_time": payload["step_time"],
+        "compute_time": payload["compute_time"],
+        "comm_time": payload["comm_time"],
+        "memory_gb": payload["memory_gb"],
+        "throughput": payload["throughput"],
+    }
+
+
+@register_portfolio(
+    name="fabric_zoo",
+    figure="fabric_zoo",
+    row=fabric_zoo_row,
+    description="Topology zoo: models x registered interconnect fabrics "
+                "(zipped, hardware.topology axis, pinned comm-heavy specs)")
+def fabric_zoo_portfolio(reduced: bool = False) -> Portfolio:
+    """Zipped model x fabric grid of the fabric-zoo study.
+
+    The fabric axis swaps ``hardware.topology`` specs (``None`` keeps the
+    default mesh) under the fabric's registry label; the pinned
+    communication-heavy solver spec is a function of the model, so it rides
+    along as an unrecorded zipped axis — the fig19 pattern.
+    """
+    models = list(FABRIC_ZOO_FAST_MODELS if reduced else FABRIC_ZOO_MODELS)
+    columns: Dict[str, List[object]] = {
+        "model": [], "fabric": [], "topology": [], "solver": [],
+    }
+    for model in models:
+        for fabric in FABRICS:
+            document = scenario_for_fabric(model, fabric).to_dict()
+            columns["model"].append(model)
+            columns["fabric"].append(fabric)
+            columns["topology"].append(document["hardware"]["topology"])
+            columns["solver"].append(document["solver"])
+    return Portfolio(
+        name="fabric_zoo",
+        description="Topology-zoo fabric comparison study",
+        expansion="zip",
+        axes=(
+            PortfolioAxis(name="model", path="workload.model",
+                          values=tuple(columns["model"])),
+            PortfolioAxis(name="fabric", path="hardware.topology",
+                          values=tuple(columns["topology"]),
+                          labels=tuple(columns["fabric"])),
             PortfolioAxis(name="solver", path="solver", record=False,
                           values=tuple(columns["solver"])),
         ),

@@ -4,8 +4,11 @@ This subpackage models the physical substrate the TEMP framework targets:
 
 * :mod:`repro.hardware.config` — dataclasses mirroring Table I of the paper
   (die area, SRAM/HBM capacity, D2D bandwidth/latency/energy, compute power).
-* :mod:`repro.hardware.topology` — the 2D-mesh die topology with
-  nearest-neighbour-only D2D links, link objects, and routing helpers.
+* :mod:`repro.hardware.topologies` — the topology zoo: registered
+  interconnect fabric families (the paper's 2D mesh by default, plus torus,
+  stacked 3D mesh, hierarchical chiplet, express-channel mesh) sharing one
+  ``Topology`` protocol for links, routing, and ring enumeration
+  (:mod:`repro.hardware.topology` remains as a deprecated import shim).
 * :mod:`repro.hardware.wafer` — the :class:`WaferScaleChip` system object that
   ties a configuration to a topology and exposes per-die resources.
 * :mod:`repro.hardware.multiwafer` — multi-wafer systems connected by
@@ -25,7 +28,15 @@ from repro.hardware.config import (
     WaferConfig,
     default_wafer_config,
 )
-from repro.hardware.topology import Link, MeshTopology, die_id, die_coord
+from repro.hardware.topologies import (
+    Link,
+    MeshTopology,
+    Topology,
+    build_topology,
+    die_coord,
+    die_id,
+    topology_names,
+)
 from repro.hardware.wafer import Die, WaferScaleChip
 from repro.hardware.multiwafer import MultiWaferSystem
 from repro.hardware.gpu_cluster import GPUCluster
@@ -41,6 +52,9 @@ __all__ = [
     "default_wafer_config",
     "Link",
     "MeshTopology",
+    "Topology",
+    "build_topology",
+    "topology_names",
     "die_id",
     "die_coord",
     "Die",

@@ -1,0 +1,100 @@
+"""Express-channel mesh: the base mesh plus skip links every ``stride`` dies.
+
+Express channels are the classic NoC latency hack: on top of every
+nearest-neighbour mesh link, dies whose row (or column) index is a
+multiple of ``stride`` get a direct "express" wire to the die ``stride``
+positions further along the same row (column). Long wires are slower per
+hop and may carry less usable bandwidth, so express links have their own
+factors — but a single express hop still replaces ``stride`` mesh hops,
+which shortens BFS routes and tightens non-contiguous ring closures.
+
+Unlike the mesh, routing here is genuinely graph-based (Manhattan
+distance no longer equals hop distance), so this family deliberately
+exercises the base class's BFS/Dijkstra machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.hardware.topologies.base import LinkSpec, Topology, die_id
+
+
+class ExpressMeshTopology(Topology):
+    """A 2D mesh augmented with express skip links every ``stride`` dies.
+
+    Args:
+        rows, cols, failed_links, failed_dies: as the base class.
+        stride: skip distance of an express link (>= 2).
+        express_bandwidth_factor: bandwidth of an express link relative to a
+            baseline mesh link.
+        express_latency_factor: per-hop latency of an express link relative
+            to a baseline mesh link.
+    """
+
+    family = "express"
+    params = {
+        "stride": 2,
+        "express_bandwidth_factor": 1.0,
+        "express_latency_factor": 1.5,
+    }
+    link_model = ("mesh links plus express skip links every `stride` dies "
+                  "along rows and columns (own bandwidth/latency factors)")
+
+    def __init__(self, rows, cols, failed_links=None, failed_dies=None, *,
+                 stride: int = 2,
+                 express_bandwidth_factor: float = 1.0,
+                 express_latency_factor: float = 1.5) -> None:
+        self.check_geometry(rows, cols, {
+            "stride": stride,
+            "express_bandwidth_factor": express_bandwidth_factor,
+            "express_latency_factor": express_latency_factor,
+        })
+        self.stride = int(stride)
+        self.express_bandwidth_factor = float(express_bandwidth_factor)
+        self.express_latency_factor = float(express_latency_factor)
+        super().__init__(rows, cols, failed_links, failed_dies)
+        # An express link of even stride closes an odd cycle with the mesh
+        # path it parallels, so only odd strides keep the graph bipartite.
+        self._bipartite = self.stride % 2 == 1
+
+    @classmethod
+    def check_geometry(cls, rows: int, cols: int,
+                       params: Mapping[str, object]) -> None:
+        super().check_geometry(rows, cols, params)
+        stride = int(params.get("stride", cls.params["stride"]))
+        if stride < 2:
+            raise ValueError(f"express stride must be >= 2, got {stride}")
+        bw = float(params.get("express_bandwidth_factor",
+                              cls.params["express_bandwidth_factor"]))
+        lat = float(params.get("express_latency_factor",
+                               cls.params["express_latency_factor"]))
+        if bw <= 0 or lat <= 0:
+            raise ValueError("express link factors must be positive")
+
+    def _link_specs(self) -> Iterator[LinkSpec]:
+        # Base mesh links first (canonical mesh order).
+        for row in range(self.rows):
+            for col in range(self.cols):
+                src = die_id(row, col, self.cols)
+                for drow, dcol in ((0, 1), (1, 0), (0, -1), (-1, 0)):
+                    nrow, ncol = row + drow, col + dcol
+                    if not (0 <= nrow < self.rows and 0 <= ncol < self.cols):
+                        continue
+                    yield src, die_id(nrow, ncol, self.cols), 1.0, 1.0
+        # Express skip links along rows, then columns, anchored at multiples
+        # of the stride.
+        bw, lat = self.express_bandwidth_factor, self.express_latency_factor
+        k = self.stride
+        for row in range(self.rows):
+            for col in range(0, self.cols - k, k):
+                src = die_id(row, col, self.cols)
+                dst = die_id(row, col + k, self.cols)
+                yield src, dst, bw, lat
+                yield dst, src, bw, lat
+        for col in range(self.cols):
+            for row in range(0, self.rows - k, k):
+                src = die_id(row, col, self.cols)
+                dst = die_id(row + k, col, self.cols)
+                yield src, dst, bw, lat
+                yield dst, src, bw, lat

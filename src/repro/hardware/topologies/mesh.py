@@ -1,0 +1,123 @@
+"""The paper's 2D-mesh die fabric — the default and reference family.
+
+The wafer arranges compute dies in a ``rows x cols`` grid. Physical D2D
+links only exist between horizontally or vertically adjacent dies — the
+paper's central physical constraint: signal integrity on the interposer
+precludes long-distance or diagonal links, so any logical communication
+pattern must be realised as sequences of one-hop transfers on this mesh.
+
+Everything here must stay bit-identical to the pre-zoo ``MeshTopology``:
+links carry the default unit factors, hop distance is the closed-form
+Manhattan distance on the full grid (ignoring health, as before), routes
+are X-first/Y-first dimension-ordered, and the analytical collective hop
+factor is pinned to 1 (the seed cost model's constant) rather than
+probed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.hardware.topologies.base import Link, LinkSpec, Topology, die_id
+
+
+class MeshTopology(Topology):
+    """A 2D mesh of dies with nearest-neighbour directed links.
+
+    Args:
+        rows: number of die rows.
+        cols: number of die columns.
+        failed_links: optional iterable of (src, dst) pairs to mark as failed;
+            both directions are removed for each pair.
+        failed_dies: optional iterable of die ids that are entirely faulty.
+    """
+
+    family = "mesh"
+    params = {}
+    link_model = "unit-cost links between 4-neighbour grid dies"
+
+    def _link_specs(self) -> Iterator[LinkSpec]:
+        for row in range(self.rows):
+            for col in range(self.cols):
+                src = die_id(row, col, self.cols)
+                for drow, dcol in ((0, 1), (1, 0), (0, -1), (-1, 0)):
+                    nrow, ncol = row + drow, col + dcol
+                    if not (0 <= nrow < self.rows and 0 <= ncol < self.cols):
+                        continue
+                    yield src, die_id(nrow, ncol, self.cols), 1.0, 1.0
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan hop distance between two dies on the full grid."""
+        (r1, c1), (r2, c2) = self.coord(src), self.coord(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def hop_cost(self, src: int, dst: int) -> int:
+        """Mesh links are uniform, so weighted cost == Manhattan distance."""
+        return self.hop_distance(src, dst)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """Whether dies ``a`` and ``b`` are physical neighbours."""
+        return self.hop_distance(a, b) == 1
+
+    def collective_hop_factor(self) -> int:
+        """The seed analytical model's constant: one hop per ring step.
+
+        Pinned (not probed) so the default fabric's cost tables stay
+        bit-identical to the pre-zoo model on every geometry, including
+        odd ones whose canonical partition cannot ring.
+        """
+        return 1
+
+    # Routing ----------------------------------------------------------------
+
+    def xy_route(self, src: int, dst: int) -> List[Link]:
+        """Dimension-ordered route: move along columns (X) first, then rows (Y).
+
+        Returns the list of directed links traversed; an empty list when
+        ``src == dst``.
+        """
+        return self._dimension_ordered_route(src, dst, x_first=True)
+
+    def yx_route(self, src: int, dst: int) -> List[Link]:
+        """Dimension-ordered route moving along rows (Y) first, then columns."""
+        return self._dimension_ordered_route(src, dst, x_first=False)
+
+    def _dimension_ordered_route(
+        self, src: int, dst: int, x_first: bool
+    ) -> List[Link]:
+        if not self.is_healthy(src) or not self.is_healthy(dst):
+            raise ValueError(f"cannot route between unhealthy dies {src} and {dst}")
+        path: List[Link] = []
+        row, col = self.coord(src)
+        drow, dcol = self.coord(dst)
+
+        def step_col() -> None:
+            nonlocal col
+            while col != dcol:
+                ncol = col + (1 if dcol > col else -1)
+                path.append(self._require_link(
+                    die_id(row, col, self.cols), die_id(row, ncol, self.cols)))
+                col = ncol
+
+        def step_row() -> None:
+            nonlocal row
+            while row != drow:
+                nrow = row + (1 if drow > row else -1)
+                path.append(self._require_link(
+                    die_id(row, col, self.cols), die_id(nrow, col, self.cols)))
+                row = nrow
+
+        if x_first:
+            step_col()
+            step_row()
+        else:
+            step_row()
+            step_col()
+        return path
+
+    def _require_link(self, src: int, dst: int) -> Link:
+        if (src, dst) not in self._links:
+            raise KeyError(
+                f"route requires link {src}->{dst} which is missing or failed"
+            )
+        return self._links[(src, dst)]

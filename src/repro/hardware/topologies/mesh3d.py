@@ -1,0 +1,109 @@
+"""3D stacked mesh fabric: the die grid folded into vertically-linked decks.
+
+The ``rows x cols`` die grid is folded into ``layers`` stacked decks of
+``rows // layers`` rows each (global rows ``[z*h, (z+1)*h)`` form deck
+``z``). In-plane links are ordinary mesh links but stop at deck
+boundaries; each die additionally gets a vertical (TSV-style) link to
+the die at the same (local row, col) position of the deck above/below —
+i.e. between global rows ``r`` and ``r + h`` of the same column.
+Vertical links carry their own bandwidth/latency factors (TSVs are
+typically lower-bandwidth and slower than in-plane D2D wires).
+
+Keeping the flat row-major die-id space means every consumer
+(partitioning, snake orders, die counts) works unchanged; only the link
+set — and hence routing, ring formation, and hop costs — differs from
+the plain mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.hardware.topologies.base import LinkSpec, Topology, die_id
+
+
+class StackedMeshTopology(Topology):
+    """A stack of 2D mesh decks joined by weighted vertical links.
+
+    Args:
+        rows, cols, failed_links, failed_dies: as the base class; ``rows``
+            must be divisible by ``layers``.
+        layers: number of stacked decks (>= 2).
+        vertical_bandwidth_factor: bandwidth of a vertical link relative to
+            an in-plane link.
+        vertical_latency_factor: per-hop latency of a vertical link relative
+            to an in-plane link.
+    """
+
+    family = "mesh3d"
+    params = {
+        "layers": 2,
+        "vertical_bandwidth_factor": 0.5,
+        "vertical_latency_factor": 2.0,
+    }
+    link_model = ("per-deck mesh links plus vertical TSV links between decks "
+                  "(own bandwidth/latency factors)")
+
+    def __init__(self, rows, cols, failed_links=None, failed_dies=None, *,
+                 layers: int = 2,
+                 vertical_bandwidth_factor: float = 0.5,
+                 vertical_latency_factor: float = 2.0) -> None:
+        self.check_geometry(rows, cols, {
+            "layers": layers,
+            "vertical_bandwidth_factor": vertical_bandwidth_factor,
+            "vertical_latency_factor": vertical_latency_factor,
+        })
+        self.layers = int(layers)
+        self.deck_rows = rows // self.layers
+        self.vertical_bandwidth_factor = float(vertical_bandwidth_factor)
+        self.vertical_latency_factor = float(vertical_latency_factor)
+        super().__init__(rows, cols, failed_links, failed_dies)
+
+    @classmethod
+    def check_geometry(cls, rows: int, cols: int,
+                       params: Mapping[str, object]) -> None:
+        super().check_geometry(rows, cols, params)
+        layers = int(params.get("layers", cls.params["layers"]))
+        if layers < 2:
+            raise ValueError(f"mesh3d needs at least 2 layers, got {layers}")
+        if rows % layers:
+            raise ValueError(
+                f"mesh3d needs rows divisible by layers, got rows={rows} "
+                f"layers={layers}")
+        if rows // layers < 1:
+            raise ValueError(
+                f"mesh3d with {layers} layers needs at least {layers} rows")
+        bw = float(params.get("vertical_bandwidth_factor",
+                              cls.params["vertical_bandwidth_factor"]))
+        lat = float(params.get("vertical_latency_factor",
+                               cls.params["vertical_latency_factor"]))
+        if bw <= 0 or lat <= 0:
+            raise ValueError("mesh3d vertical factors must be positive")
+
+    def deck_of(self, die: int) -> int:
+        """Return the deck index (layer) holding ``die``."""
+        row, _ = self.coord(die)
+        return row // self.deck_rows
+
+    def _link_specs(self) -> Iterator[LinkSpec]:
+        h = self.deck_rows
+        for row in range(self.rows):
+            for col in range(self.cols):
+                src = die_id(row, col, self.cols)
+                for drow, dcol in ((0, 1), (1, 0), (0, -1), (-1, 0)):
+                    nrow, ncol = row + drow, col + dcol
+                    if not (0 <= nrow < self.rows and 0 <= ncol < self.cols):
+                        continue
+                    # In-plane links do not cross deck boundaries.
+                    if nrow // h != row // h:
+                        continue
+                    yield src, die_id(nrow, ncol, self.cols), 1.0, 1.0
+                # Vertical link to the same position one deck up.
+                if row + h < self.rows:
+                    yield (src, die_id(row + h, col, self.cols),
+                           self.vertical_bandwidth_factor,
+                           self.vertical_latency_factor)
+                if row - h >= 0:
+                    yield (src, die_id(row - h, col, self.cols),
+                           self.vertical_bandwidth_factor,
+                           self.vertical_latency_factor)

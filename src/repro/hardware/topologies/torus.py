@@ -1,0 +1,151 @@
+"""Wraparound torus fabric: the mesh plus row/column wrap links.
+
+A 2D torus folds each row and column into a cycle by adding links
+between the first and last die of every row (and column). Wrap wires are
+physically long, so they carry their own bandwidth/latency factors
+(default 1.0 — an idealised torus). Wrap links only exist along a
+dimension of length >= 3; on shorter dimensions the "wrap" would
+duplicate the existing mesh link.
+
+The payoff for collectives: a full row (or column) of dies closes into a
+physical ring via its wrap link, so groups the mesh can only serve as
+hop-``len-1``-penalised chains become penalty-1 rings here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Mapping, Optional
+
+from repro.hardware.topologies.base import Link, LinkSpec, Topology, die_id
+from repro.hardware.topologies.mesh import MeshTopology
+
+
+class TorusTopology(MeshTopology):
+    """A 2D wraparound torus of dies.
+
+    Args:
+        rows, cols, failed_links, failed_dies: as :class:`MeshTopology`.
+        wrap_bandwidth_factor: bandwidth of a wraparound link relative to a
+            baseline mesh link.
+        wrap_latency_factor: per-hop latency of a wraparound link relative
+            to a baseline mesh link.
+    """
+
+    family = "torus"
+    params = {"wrap_bandwidth_factor": 1.0, "wrap_latency_factor": 1.0}
+    link_model = ("mesh links plus row/column wraparound links "
+                  "(own bandwidth/latency factors)")
+
+    def __init__(self, rows, cols, failed_links=None, failed_dies=None, *,
+                 wrap_bandwidth_factor: float = 1.0,
+                 wrap_latency_factor: float = 1.0) -> None:
+        if wrap_bandwidth_factor <= 0 or wrap_latency_factor <= 0:
+            raise ValueError("torus wrap factors must be positive")
+        self.wrap_bandwidth_factor = float(wrap_bandwidth_factor)
+        self.wrap_latency_factor = float(wrap_latency_factor)
+        super().__init__(rows, cols, failed_links, failed_dies)
+        # A torus dimension of odd length >= 3 creates odd cycles, so the
+        # bipartite even-size shortcut for rings only holds when both
+        # wrapped dimensions are even (or too short to wrap).
+        self._bipartite = ((rows < 3 or rows % 2 == 0)
+                           and (cols < 3 or cols % 2 == 0))
+
+    def _link_specs(self) -> Iterator[LinkSpec]:
+        yield from super()._link_specs()
+        bw, lat = self.wrap_bandwidth_factor, self.wrap_latency_factor
+        if self.cols >= 3:
+            for row in range(self.rows):
+                first = die_id(row, 0, self.cols)
+                last = die_id(row, self.cols - 1, self.cols)
+                yield last, first, bw, lat
+                yield first, last, bw, lat
+        if self.rows >= 3:
+            for col in range(self.cols):
+                first = die_id(0, col, self.cols)
+                last = die_id(self.rows - 1, col, self.cols)
+                yield last, first, bw, lat
+                yield first, last, bw, lat
+
+    def _wrap_deltas(self, a: int, b: int, length: int, wraps: bool) -> int:
+        direct = abs(a - b)
+        if not wraps:
+            return direct
+        return min(direct, length - direct)
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Wrap-aware Manhattan distance on the full torus grid."""
+        (r1, c1), (r2, c2) = self.coord(src), self.coord(dst)
+        dr = self._wrap_deltas(r1, r2, self.rows, self.rows >= 3)
+        dc = self._wrap_deltas(c1, c2, self.cols, self.cols >= 3)
+        return dr + dc
+
+    def hop_cost(self, src: int, dst: int) -> int:
+        # Wrap links may be weighted, so fall back to the Dijkstra base.
+        return Topology.hop_cost(self, src, dst)
+
+    def _line_ring(self, rows: List[int], cols: List[int]) -> Optional[List[int]]:
+        """A full wrapped row (or column) closes into a ring via its wrap link."""
+        if len(rows) == 1 and len(cols) == self.cols and self.cols >= 3:
+            ring = [self.die_at(rows[0], col) for col in cols]
+            if self._is_ring(ring):
+                return ring
+        if len(cols) == 1 and len(rows) == self.rows and self.rows >= 3:
+            ring = [self.die_at(row, cols[0]) for row in rows]
+            if self._is_ring(ring):
+                return ring
+        return None
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return (a, b) in self._links or (b, a) in self._links
+
+    def collective_hop_factor(self) -> int:
+        # Probe like the base class: wrap rings usually keep this at the
+        # ceil of the wrap latency factor (1 for an idealised torus).
+        return Topology.collective_hop_factor(self)
+
+    # Routing ----------------------------------------------------------------
+
+    def _dimension_ordered_route(
+        self, src: int, dst: int, x_first: bool
+    ) -> List[Link]:
+        if not self.is_healthy(src) or not self.is_healthy(dst):
+            raise ValueError(f"cannot route between unhealthy dies {src} and {dst}")
+        path: List[Link] = []
+        row, col = self.coord(src)
+        drow, dcol = self.coord(dst)
+
+        def col_step_dir() -> int:
+            direct = dcol - col
+            if self.cols >= 3 and abs(direct) > self.cols - abs(direct):
+                return -1 if direct > 0 else 1
+            return 1 if direct > 0 else -1
+
+        def row_step_dir() -> int:
+            direct = drow - row
+            if self.rows >= 3 and abs(direct) > self.rows - abs(direct):
+                return -1 if direct > 0 else 1
+            return 1 if direct > 0 else -1
+
+        def step_col() -> None:
+            nonlocal col
+            while col != dcol:
+                ncol = (col + col_step_dir()) % self.cols
+                path.append(self._require_link(
+                    die_id(row, col, self.cols), die_id(row, ncol, self.cols)))
+                col = ncol
+
+        def step_row() -> None:
+            nonlocal row
+            while row != drow:
+                nrow = (row + row_step_dir()) % self.rows
+                path.append(self._require_link(
+                    die_id(row, col, self.cols), die_id(nrow, col, self.cols)))
+                row = nrow
+
+        if x_first:
+            step_col()
+            step_row()
+        else:
+            step_row()
+            step_col()
+        return path

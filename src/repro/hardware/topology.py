@@ -1,506 +1,39 @@
-"""2D-mesh die topology for wafer-scale chips.
+"""Deprecated location of the die-fabric model.
 
-The wafer arranges compute dies in a ``rows x cols`` grid. Physical D2D links
-only exist between horizontally or vertically adjacent dies — the paper's
-central physical constraint: signal integrity on the interposer precludes
-long-distance or diagonal links, so any logical communication pattern must be
-realised as sequences of one-hop transfers on this mesh.
+.. deprecated::
+    The topology model moved into the :mod:`repro.hardware.topologies`
+    package (the "topology zoo"): :class:`MeshTopology` is now one
+    registered fabric family among several, all sharing the
+    :class:`~repro.hardware.topologies.base.Topology` base protocol
+    (links, routing, hop costs, contiguous-ring enumeration,
+    :class:`~repro.hardware.topologies.base.RouteTables` memoisation).
 
-The topology exposes:
-
-* link enumeration and lookup (directed links, one per direction),
-* XY dimension-ordered routing plus alternative (YX / detour) routing used by
-  the traffic-conscious optimizer,
-* hop-distance queries,
-* contiguous-ring enumeration (which die groups can form a physical ring,
-  i.e. a boustrophedon/rectangular cycle of adjacent dies), used by TATP's
-  logical orchestration.
+    This module remains as a thin import shim so existing code and
+    pickles keep working — ``repro.hardware.topology.MeshTopology`` is
+    the same class object as
+    ``repro.hardware.topologies.mesh.MeshTopology``. New code should
+    import from :mod:`repro.hardware.topologies` (or
+    :mod:`repro.hardware`) instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
-
-Coord = Tuple[int, int]
-
-
-class RouteTables:
-    """Memoised pure routing decisions of one :class:`MeshTopology`.
-
-    A topology's health state is frozen at construction, so the expensive
-    pure functions the mapping layer calls per task — ring/chain orderings
-    of die groups, dimension-ordered route paths, ring hop factors — always
-    return the same value for the same arguments on the same topology
-    instance. The tables cache exactly those return values, so a cache hit
-    is bit-identical to a recomputation by construction.
-
-    The tables are opt-in (``MeshTopology.enable_route_tables``): the
-    default evaluation path stays memo-free, which is what the
-    batched-vs-per-point parity tests compare against. One batch layer
-    (:class:`repro.costmodel.portfolio.PortfolioTables`) enables them on
-    the wafer shared by a portfolio sweep, where the same groups and
-    src/dst pairs recur across every candidate spec of every point.
-
-    Attributes:
-        hits: lookups served from the tables.
-        misses: lookups that ran the underlying computation.
-    """
-
-    __slots__ = ("rings", "paths", "ring_hops", "hits", "misses")
-
-    def __init__(self) -> None:
-        self.rings: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], bool]] = {}
-        self.paths: Dict[Tuple[int, int, bool], Tuple["Link", ...]] = {}
-        self.ring_hops: Dict[Tuple[Tuple[int, ...], bool], int] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def stats(self) -> Dict[str, int]:
-        """Counter snapshot: ``hits``, ``misses``, ``entries``."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self.rings) + len(self.paths) + len(self.ring_hops),
-        }
-
-
-def die_id(row: int, col: int, cols: int) -> int:
-    """Convert a (row, col) coordinate to a flat die id (row-major)."""
-    return row * cols + col
-
-
-def die_coord(die: int, cols: int) -> Coord:
-    """Convert a flat die id back to its (row, col) coordinate."""
-    return divmod(die, cols)
-
-
-@dataclass(frozen=True)
-class Link:
-    """A directed D2D link between two adjacent dies.
-
-    Attributes:
-        src: source die id.
-        dst: destination die id.
-    """
-
-    src: int
-    dst: int
-
-    def reversed(self) -> "Link":
-        """Return the link in the opposite direction."""
-        return Link(self.dst, self.src)
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Link({self.src}->{self.dst})"
-
-
-class MeshTopology:
-    """A 2D mesh of dies with nearest-neighbour directed links.
-
-    Args:
-        rows: number of die rows.
-        cols: number of die columns.
-        failed_links: optional iterable of (src, dst) pairs to mark as failed;
-            both directions are removed for each pair.
-        failed_dies: optional iterable of die ids that are entirely faulty.
-    """
-
-    def __init__(
-        self,
-        rows: int,
-        cols: int,
-        failed_links: Optional[Iterable[Tuple[int, int]]] = None,
-        failed_dies: Optional[Iterable[int]] = None,
-    ) -> None:
-        if rows <= 0 or cols <= 0:
-            raise ValueError(f"Mesh dimensions must be positive, got {rows}x{cols}")
-        self.rows = rows
-        self.cols = cols
-        self._failed_dies = set(failed_dies or ())
-        self._failed_links = set()
-        for src, dst in failed_links or ():
-            self._failed_links.add((src, dst))
-            self._failed_links.add((dst, src))
-        self._links = self._build_links()
-        self._adjacency = self._build_adjacency()
-        #: Optional routing memo (see :class:`RouteTables`); ``None`` keeps
-        #: every routing call memo-free.
-        self.route_tables: Optional[RouteTables] = None
-
-    # Construction helpers ---------------------------------------------------
-
-    def _build_links(self) -> Dict[Tuple[int, int], Link]:
-        links: Dict[Tuple[int, int], Link] = {}
-        for row in range(self.rows):
-            for col in range(self.cols):
-                src = die_id(row, col, self.cols)
-                if src in self._failed_dies:
-                    continue
-                for drow, dcol in ((0, 1), (1, 0), (0, -1), (-1, 0)):
-                    nrow, ncol = row + drow, col + dcol
-                    if not (0 <= nrow < self.rows and 0 <= ncol < self.cols):
-                        continue
-                    dst = die_id(nrow, ncol, self.cols)
-                    if dst in self._failed_dies:
-                        continue
-                    if (src, dst) in self._failed_links:
-                        continue
-                    links[(src, dst)] = Link(src, dst)
-        return links
-
-    def _build_adjacency(self) -> Dict[int, List[int]]:
-        adjacency: Dict[int, List[int]] = {die: [] for die in self.dies()}
-        for src, dst in self._links:
-            adjacency[src].append(dst)
-        for neighbours in adjacency.values():
-            neighbours.sort()
-        return adjacency
-
-    def enable_route_tables(self) -> RouteTables:
-        """Attach (or return the existing) :class:`RouteTables` memo.
-
-        Safe because the mesh's health state is immutable after
-        construction; idempotent so several sharers converge on one memo.
-        """
-        if self.route_tables is None:
-            self.route_tables = RouteTables()
-        return self.route_tables
-
-    # Basic queries ----------------------------------------------------------
-
-    @property
-    def num_dies(self) -> int:
-        """Number of healthy dies on the mesh."""
-        return self.rows * self.cols - len(self._failed_dies)
-
-    def dies(self) -> List[int]:
-        """Return the ids of all healthy dies, in row-major order."""
-        return [
-            die
-            for die in range(self.rows * self.cols)
-            if die not in self._failed_dies
-        ]
-
-    def is_healthy(self, die: int) -> bool:
-        """Whether ``die`` exists on the mesh and is not marked faulty."""
-        return 0 <= die < self.rows * self.cols and die not in self._failed_dies
-
-    def coord(self, die: int) -> Coord:
-        """Return the (row, col) coordinate of ``die``."""
-        if not 0 <= die < self.rows * self.cols:
-            raise ValueError(f"die {die} out of range for {self.rows}x{self.cols} mesh")
-        return die_coord(die, self.cols)
-
-    def die_at(self, row: int, col: int) -> int:
-        """Return the die id at coordinate (row, col)."""
-        if not (0 <= row < self.rows and 0 <= col < self.cols):
-            raise ValueError(
-                f"coordinate ({row}, {col}) out of range for "
-                f"{self.rows}x{self.cols} mesh"
-            )
-        return die_id(row, col, self.cols)
-
-    def links(self) -> List[Link]:
-        """Return all healthy directed links."""
-        return list(self._links.values())
-
-    def link(self, src: int, dst: int) -> Link:
-        """Return the directed link from ``src`` to ``dst``.
-
-        Raises:
-            KeyError: if the dies are not adjacent or the link has failed.
-        """
-        try:
-            return self._links[(src, dst)]
-        except KeyError:
-            raise KeyError(f"no healthy link between die {src} and die {dst}") from None
-
-    def has_link(self, src: int, dst: int) -> bool:
-        """Whether a healthy directed link exists from ``src`` to ``dst``."""
-        return (src, dst) in self._links
-
-    def neighbours(self, die: int) -> List[int]:
-        """Return the healthy dies directly reachable from ``die``."""
-        return list(self._adjacency.get(die, ()))
-
-    def hop_distance(self, src: int, dst: int) -> int:
-        """Manhattan hop distance between two dies on the full grid."""
-        (r1, c1), (r2, c2) = self.coord(src), self.coord(dst)
-        return abs(r1 - r2) + abs(c1 - c2)
-
-    def are_adjacent(self, a: int, b: int) -> bool:
-        """Whether dies ``a`` and ``b`` are physical neighbours."""
-        return self.hop_distance(a, b) == 1
-
-    # Routing ----------------------------------------------------------------
-
-    def xy_route(self, src: int, dst: int) -> List[Link]:
-        """Dimension-ordered route: move along columns (X) first, then rows (Y).
-
-        Returns the list of directed links traversed; an empty list when
-        ``src == dst``.
-        """
-        return self._dimension_ordered_route(src, dst, x_first=True)
-
-    def yx_route(self, src: int, dst: int) -> List[Link]:
-        """Dimension-ordered route moving along rows (Y) first, then columns."""
-        return self._dimension_ordered_route(src, dst, x_first=False)
-
-    def _dimension_ordered_route(
-        self, src: int, dst: int, x_first: bool
-    ) -> List[Link]:
-        if not self.is_healthy(src) or not self.is_healthy(dst):
-            raise ValueError(f"cannot route between unhealthy dies {src} and {dst}")
-        path: List[Link] = []
-        row, col = self.coord(src)
-        drow, dcol = self.coord(dst)
-
-        def step_col() -> None:
-            nonlocal col
-            while col != dcol:
-                ncol = col + (1 if dcol > col else -1)
-                path.append(self._require_link(
-                    die_id(row, col, self.cols), die_id(row, ncol, self.cols)))
-                col = ncol
-
-        def step_row() -> None:
-            nonlocal row
-            while row != drow:
-                nrow = row + (1 if drow > row else -1)
-                path.append(self._require_link(
-                    die_id(row, col, self.cols), die_id(nrow, col, self.cols)))
-                row = nrow
-
-        if x_first:
-            step_col()
-            step_row()
-        else:
-            step_row()
-            step_col()
-        return path
-
-    def _require_link(self, src: int, dst: int) -> Link:
-        if (src, dst) not in self._links:
-            raise KeyError(
-                f"route requires link {src}->{dst} which is missing or failed"
-            )
-        return self._links[(src, dst)]
-
-    def shortest_path(
-        self, src: int, dst: int, avoid_links: Optional[Sequence[Link]] = None
-    ) -> Optional[List[Link]]:
-        """Breadth-first shortest path that can avoid a set of links.
-
-        Used by the traffic-conscious optimizer to find detours around
-        congested or failed links. Returns ``None`` when no path exists.
-        """
-        if src == dst:
-            return []
-        avoid = {(link.src, link.dst) for link in (avoid_links or ())}
-        frontier = [src]
-        predecessors: Dict[int, Tuple[int, Link]] = {}
-        visited = {src}
-        while frontier:
-            next_frontier: List[int] = []
-            for die in frontier:
-                for neighbour in self.neighbours(die):
-                    if neighbour in visited:
-                        continue
-                    if (die, neighbour) in avoid:
-                        continue
-                    visited.add(neighbour)
-                    predecessors[neighbour] = (die, self._links[(die, neighbour)])
-                    if neighbour == dst:
-                        return self._reconstruct(predecessors, src, dst)
-                    next_frontier.append(neighbour)
-            frontier = next_frontier
-        return None
-
-    @staticmethod
-    def _reconstruct(
-        predecessors: Dict[int, Tuple[int, Link]], src: int, dst: int
-    ) -> List[Link]:
-        path: List[Link] = []
-        node = dst
-        while node != src:
-            prev, link = predecessors[node]
-            path.append(link)
-            node = prev
-        path.reverse()
-        return path
-
-    # Ring enumeration (used by TATP) -----------------------------------------
-
-    def contiguous_ring(self, dies: Sequence[int]) -> Optional[List[int]]:
-        """Order ``dies`` into a physical ring of adjacent dies, if one exists.
-
-        A physical ring is a Hamiltonian cycle on the induced subgraph where
-        consecutive dies (and the last/first pair) are mesh neighbours. Groups
-        of two adjacent dies are treated as a degenerate ring (ping-pong).
-
-        Returns the ring ordering or ``None`` if the group cannot form one.
-        """
-        group = list(dict.fromkeys(dies))
-        if len(group) != len(dies):
-            raise ValueError("die group contains duplicates")
-        for die in group:
-            if not self.is_healthy(die):
-                return None
-        if len(group) == 1:
-            return group
-        if len(group) == 2:
-            return group if self.are_adjacent(group[0], group[1]) else None
-        # Rings on a mesh need an even number of members (bipartite graph).
-        if len(group) % 2 == 1:
-            return None
-        rectangle = self._rectangular_ring(group)
-        if rectangle is not None:
-            return rectangle
-        return self._hamiltonian_cycle(group)
-
-    def _rectangular_ring(self, group: Sequence[int]) -> Optional[List[int]]:
-        """Fast path: a full r x c rectangle of dies always admits a ring."""
-        coords = sorted(self.coord(die) for die in group)
-        rows = sorted({row for row, _ in coords})
-        cols = sorted({col for _, col in coords})
-        if rows != list(range(rows[0], rows[-1] + 1)):
-            return None
-        if cols != list(range(cols[0], cols[-1] + 1)):
-            return None
-        if len(rows) * len(cols) != len(group):
-            return None
-        expected = {(row, col) for row in rows for col in cols}
-        if set(coords) != expected:
-            return None
-        if len(rows) == 1 or len(cols) == 1:
-            # A straight line of >2 dies cannot close into a cycle.
-            return None
-        ring_coords = self._boustrophedon_cycle(rows, cols)
-        ring = [self.die_at(row, col) for row, col in ring_coords]
-        if not self._is_ring(ring):
-            return None
-        return ring
-
-    @staticmethod
-    def _boustrophedon_cycle(rows: List[int], cols: List[int]) -> List[Coord]:
-        """Build a cycle covering a rectangle: snake down inner columns, return
-        up the first column."""
-        first_col = cols[0]
-        other_cols = cols[1:]
-        cycle: List[Coord] = []
-        for index, row in enumerate(rows):
-            ordered = other_cols if index % 2 == 0 else list(reversed(other_cols))
-            for col in ordered:
-                cycle.append((row, col))
-        for row in reversed(rows):
-            cycle.append((row, first_col))
-        return cycle
-
-    def _hamiltonian_cycle(self, group: Sequence[int]) -> Optional[List[int]]:
-        """Backtracking Hamiltonian-cycle search for small irregular groups."""
-        group_set = set(group)
-        if len(group) > 16:
-            # Exhaustive search would be too slow; rely on the rectangle fast
-            # path for large groups (which covers the mappings TEMP generates).
-            return None
-        start = group[0]
-        path = [start]
-        used = {start}
-
-        def backtrack() -> Optional[List[int]]:
-            if len(path) == len(group):
-                if self.are_adjacent(path[-1], start):
-                    return list(path)
-                return None
-            for neighbour in self.neighbours(path[-1]):
-                if neighbour in group_set and neighbour not in used:
-                    used.add(neighbour)
-                    path.append(neighbour)
-                    result = backtrack()
-                    if result is not None:
-                        return result
-                    path.pop()
-                    used.remove(neighbour)
-            return None
-
-        return backtrack()
-
-    def _is_ring(self, ordering: Sequence[int]) -> bool:
-        if len(ordering) < 3:
-            return False
-        pairs = list(zip(ordering, list(ordering[1:]) + [ordering[0]]))
-        return all(self.are_adjacent(a, b) for a, b in pairs)
-
-    def ring_penalty_hops(self, dies: Sequence[int]) -> int:
-        """Worst-case hop count needed to close a logical ring over ``dies``.
-
-        A contiguous physical ring yields 1 (all transfers are one hop). A
-        non-contiguous group pays the longest hop distance between logical
-        neighbours — the tail-latency effect of Fig. 5(a).
-        """
-        if len(dies) <= 1:
-            return 0
-        ring = self.contiguous_ring(dies)
-        if ring is not None:
-            return 1
-        ordering = list(dies)
-        pairs = list(zip(ordering, ordering[1:] + [ordering[0]]))
-        return max(self.hop_distance(a, b) for a, b in pairs)
-
-    # Grouping helpers ---------------------------------------------------------
-
-    def partition_into_groups(self, group_size: int) -> List[List[int]]:
-        """Partition the mesh into contiguous die groups of ``group_size``.
-
-        Groups are carved as near-square rectangles when possible (so that they
-        admit physical rings), falling back to row-major slices. Faulty dies
-        are skipped. This mirrors the die-allocation strategy of Fig. 7(a).
-        """
-        if group_size <= 0:
-            raise ValueError(f"group_size must be positive, got {group_size}")
-        dies = self.dies()
-        if group_size > len(dies):
-            raise ValueError(
-                f"group_size {group_size} exceeds healthy die count {len(dies)}"
-            )
-        shape = self._best_group_shape(group_size)
-        if shape is not None and not self._failed_dies:
-            return self._tile_rectangles(shape, group_size)
-        # Fallback: simple row-major chunks of healthy dies.
-        return [
-            dies[index: index + group_size]
-            for index in range(0, len(dies) - group_size + 1, group_size)
-        ]
-
-    def _best_group_shape(self, group_size: int) -> Optional[Tuple[int, int]]:
-        best: Optional[Tuple[int, int]] = None
-        best_aspect = None
-        for height in range(1, group_size + 1):
-            if group_size % height:
-                continue
-            width = group_size // height
-            if height > self.rows or width > self.cols:
-                continue
-            if self.rows % height or self.cols % width:
-                continue
-            aspect = abs(height - width)
-            if best_aspect is None or aspect < best_aspect:
-                best, best_aspect = (height, width), aspect
-        return best
-
-    def _tile_rectangles(
-        self, shape: Tuple[int, int], group_size: int
-    ) -> List[List[int]]:
-        height, width = shape
-        groups: List[List[int]] = []
-        for row0 in range(0, self.rows, height):
-            for col0 in range(0, self.cols, width):
-                group = [
-                    self.die_at(row, col)
-                    for row in range(row0, row0 + height)
-                    for col in range(col0, col0 + width)
-                ]
-                if len(group) == group_size:
-                    groups.append(group)
-        return groups
+from repro.hardware.topologies import (  # noqa: F401
+    Coord,
+    Link,
+    MeshTopology,
+    RouteTables,
+    Topology,
+    die_coord,
+    die_id,
+)
+
+__all__ = [
+    "Coord",
+    "Link",
+    "MeshTopology",
+    "RouteTables",
+    "Topology",
+    "die_coord",
+    "die_id",
+]

@@ -1,20 +1,21 @@
 """Wafer-scale chip system object.
 
 :class:`WaferScaleChip` binds a :class:`~repro.hardware.config.WaferConfig` to
-a :class:`~repro.hardware.topology.MeshTopology` and exposes the per-die
-resources (compute, SRAM, HBM) that the simulator and the solver reason about.
-Fault injection is applied here by rebuilding the topology with failed links or
+an interconnect fabric from the topology zoo (the paper's 2D mesh by default;
+see :mod:`repro.hardware.topologies`) and exposes the per-die resources
+(compute, SRAM, HBM) that the simulator and the solver reason about. Fault
+injection is applied here by rebuilding the topology with failed links or
 dies, and by derating the compute of partially-faulty dies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.hardware.config import WaferConfig, default_wafer_config
 from repro.hardware.faults import FaultModel
-from repro.hardware.topology import Link, MeshTopology
+from repro.hardware.topologies import Link, build_topology
 
 
 @dataclass
@@ -43,18 +44,24 @@ class WaferScaleChip:
         config: the wafer configuration (Table I values by default).
         fault_model: optional fault injection describing failed links and
             core-fault fractions per die.
+        topology: optional topology spec dict (``{"name": ..., **params}``,
+            see :mod:`repro.hardware.topologies`); ``None`` builds the
+            default mesh fabric.
     """
 
     def __init__(
         self,
         config: Optional[WaferConfig] = None,
         fault_model: Optional[FaultModel] = None,
+        topology: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.config = config or default_wafer_config()
         self.fault_model = fault_model or FaultModel()
         failed_links = self.fault_model.failed_links
         failed_dies = self.fault_model.dead_dies
-        self.topology = MeshTopology(
+        self.topology_spec = dict(topology) if topology is not None else None
+        self.topology = build_topology(
+            self.topology_spec,
             self.config.rows,
             self.config.cols,
             failed_links=failed_links,
@@ -111,27 +118,31 @@ class WaferScaleChip:
     # Link-level helpers --------------------------------------------------------
 
     def link_bandwidth(self, link: Link) -> float:
-        """Usable bandwidth of ``link`` after any fault-induced derating."""
+        """Usable bandwidth of ``link`` after fault derating and the link's
+        fabric bandwidth factor (1.0 on every default-mesh link)."""
         derate = 1.0 - self.fault_model.link_fault_fraction((link.src, link.dst))
-        return self.config.d2d.bandwidth * max(derate, 0.0)
+        return self.config.d2d.bandwidth * max(derate, 0.0) * link.bandwidth_factor
 
     def link_transfer_time(self, link: Link, num_bytes: float) -> float:
         """Time to move ``num_bytes`` across one D2D link (latency + serial)."""
         bandwidth = self.link_bandwidth(link)
         if bandwidth <= 0:
             raise ValueError(f"link {link} has no usable bandwidth")
-        return self.config.d2d.latency + num_bytes / bandwidth
+        return self.config.d2d.latency * link.latency_factor + num_bytes / bandwidth
 
     def path_transfer_time(self, path: Sequence[Link], num_bytes: float) -> float:
         """Store-and-forward transfer time along a multi-hop path."""
         if not path:
             return 0.0
         # Wormhole-style pipelining: pay per-hop latency for every hop but the
-        # serialization delay only once at the slowest link.
+        # serialization delay only once at the slowest link. Latency factors
+        # are summed before the single multiply so an all-unit-factor path
+        # (the default mesh) reduces to exactly len(path) * latency.
         slowest = min(self.link_bandwidth(link) for link in path)
         if slowest <= 0:
             raise ValueError("path traverses a dead link")
-        return len(path) * self.config.d2d.latency + num_bytes / slowest
+        hops = sum(link.latency_factor for link in path)
+        return hops * self.config.d2d.latency + num_bytes / slowest
 
     def describe(self) -> Dict[str, float]:
         """Return a summary dictionary of headline hardware numbers."""

@@ -6,9 +6,15 @@ concrete die groups:
 * **ring collectives** (all-reduce, all-gather, reduce-scatter, broadcast) —
   flows between consecutive members of the group's ring ordering. When the
   group admits a contiguous physical ring (see
-  :meth:`MeshTopology.contiguous_ring`), every flow is one hop; otherwise the
+  :meth:`Topology.contiguous_ring`), every flow is one hop; otherwise the
   flows follow multi-hop routes and the hop factor records the tail-latency
   penalty.
+
+Hop factors are measured with :meth:`Topology.hop_cost` — the fabric's
+weighted hop model — so a chain step crossing, say, a vertical TSV or a
+chiplet backbone wire is charged its latency factor. On the default mesh
+``hop_cost`` equals the Manhattan hop distance, keeping the seed behaviour
+bit-identical.
 * **P2P** — a single flow between the two members.
 * **TATP streams** — bidirectional neighbour flows along the group's chain
   ordering (Algorithm 1 only ever sends one hop along the chain).
@@ -18,13 +24,13 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.hardware.topology import MeshTopology
+from repro.hardware.topologies import Topology
 from repro.mapping.routing import Flow, route_flow
 from repro.parallelism.comm import CollectiveType, CommTask
 
 
 def order_group_for_ring(
-    topology: MeshTopology, group: Sequence[int]
+    topology: Topology, group: Sequence[int]
 ) -> Tuple[List[int], bool]:
     """Order a die group for ring communication.
 
@@ -52,22 +58,23 @@ def order_group_for_ring(
     return ordering, is_ring
 
 
-def _greedy_chain(topology: MeshTopology, members: Sequence[int]) -> List[int]:
+def _greedy_chain(topology: Topology, members: Sequence[int]) -> List[int]:
     """Greedy nearest-neighbour ordering of a die group."""
     remaining = list(members)
     chain = [remaining.pop(0)]
     while remaining:
         last = chain[-1]
-        nearest = min(remaining, key=lambda die: topology.hop_distance(last, die))
+        nearest = min(remaining, key=lambda die: topology.hop_cost(last, die))
         remaining.remove(nearest)
         chain.append(nearest)
     return chain
 
 
 def ring_hop_factor(
-    topology: MeshTopology, ordering: Sequence[int], closed: bool
+    topology: Topology, ordering: Sequence[int], closed: bool
 ) -> int:
-    """Worst hop distance between logically adjacent members of an ordering."""
+    """Worst weighted hop cost between logically adjacent members of an
+    ordering (see :meth:`Topology.hop_cost`)."""
     if len(ordering) <= 1:
         return 0
     tables = topology.route_tables
@@ -80,7 +87,7 @@ def ring_hop_factor(
     pairs = list(zip(ordering, list(ordering[1:])))
     if closed:
         pairs.append((ordering[-1], ordering[0]))
-    worst = max(topology.hop_distance(a, b) for a, b in pairs)
+    worst = max(topology.hop_cost(a, b) for a, b in pairs)
     if tables is not None:
         tables.misses += 1
         tables.ring_hops[key] = worst
@@ -90,7 +97,7 @@ def ring_hop_factor(
 def expand_task(
     task: CommTask,
     groups: Sequence[Sequence[int]],
-    topology: MeshTopology,
+    topology: Topology,
     prefer_yx: bool = False,
     reorder_groups: bool = True,
 ) -> Tuple[List[Flow], int]:
@@ -100,7 +107,7 @@ def expand_task(
         task: the communication task.
         groups: the concrete die groups realising the task (one entry per
             parallel group of the task's dimension).
-        topology: the wafer mesh used for routing.
+        topology: the wafer fabric used for routing.
         prefer_yx: route with YX instead of XY dimension order (used by the
             optimizer to spread traffic).
         reorder_groups: whether to reorder each group into a physical ring /
@@ -136,7 +143,7 @@ def expand_task(
 def _expand_ring_collective(
     task: CommTask,
     members: Sequence[int],
-    topology: MeshTopology,
+    topology: Topology,
     prefer_yx: bool,
     reorder_groups: bool = True,
 ) -> Tuple[List[Flow], int]:
@@ -163,7 +170,7 @@ def _expand_ring_collective(
 def _expand_p2p(
     task: CommTask,
     members: Sequence[int],
-    topology: MeshTopology,
+    topology: Topology,
     prefer_yx: bool,
 ) -> Tuple[List[Flow], int]:
     flows: List[Flow] = []
@@ -186,7 +193,7 @@ def _expand_p2p(
 def _expand_stream(
     task: CommTask,
     members: Sequence[int],
-    topology: MeshTopology,
+    topology: Topology,
     prefer_yx: bool,
     reorder_groups: bool = True,
 ) -> Tuple[List[Flow], int]:

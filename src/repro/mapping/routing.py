@@ -1,4 +1,4 @@
-"""Link-level flows and their routes on the wafer mesh.
+"""Link-level flows and their routes on the wafer fabric.
 
 A :class:`Flow` is the unit the contention analysis works with: "this many
 bytes travel from die A to die B along this path, `count` times per training
@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.hardware.topology import Link, MeshTopology
+from repro.hardware.topologies import Link, Topology
 
 
 @dataclass
@@ -69,7 +69,7 @@ class Flow:
 
 
 def route_flow(
-    topology: MeshTopology,
+    topology: Topology,
     src: int,
     dst: int,
     num_bytes: float,
@@ -79,10 +79,11 @@ def route_flow(
     critical: bool = True,
     prefer_yx: bool = False,
 ) -> Flow:
-    """Create a flow routed with dimension-ordered (XY or YX) routing.
+    """Create a flow following the fabric's canonical (XY or YX) route.
 
-    Falls back to a BFS shortest path when the dimension-ordered route is
-    blocked by failed links.
+    On mesh-like fabrics the canonical routes are dimension-ordered; other
+    families route by deterministic BFS. Falls back to a BFS shortest path
+    when the canonical route is blocked by failed links.
     """
     if src == dst:
         path: List[Link] = []

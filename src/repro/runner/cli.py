@@ -49,7 +49,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproductions.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered figures")
+    list_parser = sub.add_parser(
+        "list", help="list registered figures (or topologies)")
+    list_parser.add_argument(
+        "--topologies", action="store_true",
+        help="list the registered interconnect fabric families instead")
 
     run = sub.add_parser("run", help="run one figure (or 'all')")
     run.add_argument("figure", help="registered figure id, or 'all'")
@@ -237,7 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(args: Optional[argparse.Namespace] = None) -> int:
+    if args is not None and getattr(args, "topologies", False):
+        return _cmd_list_topologies()
     experiments = registry.all_experiments()
     width = max(len(exp.figure) for exp in experiments)
     print(f"{'figure':<{width}}  {'paper':<12} {'cells':>7} {'reduced':>8}  "
@@ -246,6 +252,20 @@ def _cmd_list() -> int:
         print(f"{exp.figure:<{width}}  {exp.paper:<12} "
               f"{len(exp.cells(False)):>7} {len(exp.cells(True)):>8}  "
               f"{exp.title}")
+    return 0
+
+
+def _cmd_list_topologies() -> int:
+    from repro.hardware.topologies import topology_table
+
+    rows = topology_table()
+    name_width = max(len(row["name"]) for row in rows)
+    params_width = max(max(len(row["params"]) for row in rows), len("params"))
+    print(f"{'fabric':<{name_width}}  {'default':<8} {'params':<{params_width}}"
+          f"  link model")
+    for row in rows:
+        print(f"{row['name']:<{name_width}}  {row['default'] or '-':<8} "
+              f"{row['params']:<{params_width}}  {row['link_model']}")
     return 0
 
 
@@ -756,7 +776,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "plan":

@@ -112,8 +112,11 @@ class DualLevelWaferSolver:
             layer_graph = tables.graph
         else:
             layer_graph = representative_layer_graph(model)
+            # The fabric's analytic hop model: 1 on the default mesh, higher
+            # on fabrics whose canonical die groups cannot ring cheaply.
             tables = CostTables(
-                layer_graph, candidates, self.wafer.config, self.config)
+                layer_graph, candidates, self.wafer.config, self.config,
+                hop_factor=self.wafer.topology.collective_hop_factor())
 
         # Level 1: dynamic program over the representative layer.
         dp_result = optimize_segments(

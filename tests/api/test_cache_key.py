@@ -46,6 +46,7 @@ ALTERNATIVES = {
         "num_microbatches": 8,
         "link_fault_rate": 0.1,
         "core_fault_rate": 0.2,
+        "topology": {"name": "torus"},
     },
     "solver": {
         "scheme": "mesp",

@@ -65,8 +65,22 @@ def workloads() -> st.SearchStrategy:
     )
 
 
+#: Valid fabric specs on the default 4x8 geometry (kept in sync with the
+#: registered topology zoo; mesh stays None half the time so the default
+#: path is fuzzed too).
+FABRIC_SPECS = [
+    None,
+    {"name": "mesh"},
+    {"name": "torus"},
+    {"name": "torus", "wrap_latency_factor": 2.0},
+    {"name": "mesh3d", "layers": 2},
+    {"name": "chiplet", "chiplet_rows": 2, "chiplet_cols": 2},
+    {"name": "express", "stride": 2},
+]
+
+
 def hardwares() -> st.SearchStrategy:
-    """Valid hardware specs across all three mutually-exclusive shapes."""
+    """Valid hardware specs across all four mutually-exclusive shapes."""
     single_wafer = st.builds(
         HardwareSpec,
         rows=st.integers(1, 8),
@@ -86,7 +100,15 @@ def hardwares() -> st.SearchStrategy:
         num_microbatches=st.integers(1, 64),
     )
     gpu_cluster = st.just(HardwareSpec(platform="gpu_cluster"))
-    return st.one_of(single_wafer, multi_wafer, gpu_cluster)
+    # Fabric shape: a topology-zoo spec on the default geometry (non-mesh
+    # fabrics are single-wafer and fault-free by validation).
+    fabric = st.builds(
+        HardwareSpec,
+        topology=st.sampled_from(FABRIC_SPECS).map(
+            lambda spec: dict(spec) if spec is not None else None),
+        num_microbatches=st.integers(1, 64),
+    )
+    return st.one_of(single_wafer, multi_wafer, gpu_cluster, fabric)
 
 
 def solvers() -> st.SearchStrategy:

@@ -1,0 +1,199 @@
+"""Property-based invariants over every registered fabric family.
+
+Hypothesis samples (family, geometry, params, die pairs) across the whole
+topology zoo and pins the structural contracts the mapping layer leans on:
+
+* canonical routes use only links the fabric actually has, chain
+  contiguously from src to dst, and match the BFS hop distance;
+* enumerated contiguous rings are genuine cycles — each die once, every
+  consecutive (and wrap-around) pair fabric-adjacent;
+* ``HardwareSpec.topology`` survives document round-trips losslessly;
+* ``cache_key()`` distinguishes scenarios iff the topology name/params
+  differ.
+
+The suite stays pure topology/document work — no plan evaluation.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.scenario import HardwareSpec, Scenario
+from repro.hardware.topologies import build_topology, topology_names
+
+FAST = settings(max_examples=50, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+#: (rows, cols, spec) triples covering every family on valid geometries.
+FABRIC_CASES = [
+    (4, 8, {"name": "mesh"}),
+    (3, 5, {"name": "mesh"}),
+    (4, 8, {"name": "torus"}),
+    (3, 5, {"name": "torus"}),
+    (4, 8, {"name": "torus", "wrap_latency_factor": 2.5,
+            "wrap_bandwidth_factor": 0.5}),
+    (4, 8, {"name": "mesh3d", "layers": 2}),
+    (6, 4, {"name": "mesh3d", "layers": 3,
+            "vertical_latency_factor": 1.5}),
+    (4, 8, {"name": "mesh3d", "layers": 4,
+            "vertical_bandwidth_factor": 0.25}),
+    (4, 8, {"name": "chiplet", "chiplet_rows": 2, "chiplet_cols": 2}),
+    (4, 8, {"name": "chiplet", "chiplet_rows": 2, "chiplet_cols": 4,
+            "gateways": 1}),
+    (6, 6, {"name": "chiplet", "chiplet_rows": 3, "chiplet_cols": 3,
+            "backbone_latency_factor": 3.0}),
+    (4, 8, {"name": "express", "stride": 2}),
+    (4, 8, {"name": "express", "stride": 3,
+            "express_latency_factor": 1.25}),
+    (5, 9, {"name": "express", "stride": 4}),
+]
+
+assert {case[2]["name"] for case in FABRIC_CASES} == set(topology_names())
+
+
+@st.composite
+def fabric_and_pair(draw):
+    """A built fabric plus a random healthy (src, dst) die pair."""
+    rows, cols, spec = draw(st.sampled_from(FABRIC_CASES))
+    topology = build_topology(spec, rows, cols)
+    dies = topology.dies()
+    src = draw(st.sampled_from(dies))
+    dst = draw(st.sampled_from(dies))
+    return topology, src, dst
+
+
+@st.composite
+def fabric_and_group(draw):
+    """A built fabric plus one of its canonical partition groups."""
+    rows, cols, spec = draw(st.sampled_from(FABRIC_CASES))
+    topology = build_topology(spec, rows, cols)
+    sizes = [size for size in (2, 4, 8, 16) if size <= topology.num_dies]
+    groups = topology.partition_into_groups(draw(st.sampled_from(sizes)))
+    return topology, draw(st.sampled_from(groups))
+
+
+class TestRoutingInvariants:
+    @FAST
+    @given(case=fabric_and_pair())
+    def test_routes_use_only_fabric_links(self, case):
+        topology, src, dst = case
+        for route in (topology.xy_route(src, dst),
+                      topology.yx_route(src, dst)):
+            for link in route:
+                assert topology.has_link(link.src, link.dst)
+                assert topology.link(link.src, link.dst) == link
+
+    @FAST
+    @given(case=fabric_and_pair())
+    def test_routes_chain_from_src_to_dst(self, case):
+        topology, src, dst = case
+        route = topology.xy_route(src, dst)
+        if src == dst:
+            assert route == []
+            return
+        assert route[0].src == src
+        assert route[-1].dst == dst
+        for left, right in zip(route, route[1:]):
+            assert left.dst == right.src
+
+    @FAST
+    @given(case=fabric_and_pair())
+    def test_route_length_equals_hop_distance(self, case):
+        topology, src, dst = case
+        assert len(topology.xy_route(src, dst)) \
+            == topology.hop_distance(src, dst)
+
+    @FAST
+    @given(case=fabric_and_pair())
+    def test_hop_cost_at_least_one_between_distinct_dies(self, case):
+        topology, src, dst = case
+        if src == dst:
+            assert topology.hop_cost(src, dst) == 0
+        else:
+            assert topology.hop_cost(src, dst) >= 1
+
+
+class TestRingInvariants:
+    @FAST
+    @given(case=fabric_and_group())
+    def test_enumerated_rings_are_valid_cycles(self, case):
+        topology, group = case
+        ring = topology.contiguous_ring(group)
+        if ring is None:
+            return
+        assert sorted(ring) == sorted(group)
+        if len(ring) <= 2:
+            return
+        for a, b in zip(ring, ring[1:] + [ring[0]]):
+            assert topology.are_adjacent(a, b)
+
+    @FAST
+    @given(case=fabric_and_group())
+    def test_ring_penalty_is_positive_for_real_groups(self, case):
+        topology, group = case
+        penalty = topology.ring_penalty_hops(group)
+        assert penalty >= (1 if len(group) > 1 else 0)
+
+
+def topology_specs() -> st.SearchStrategy:
+    """Serialisable topology documents over the sampled fabric cases."""
+    return st.sampled_from(FABRIC_CASES).map(
+        lambda case: (case[0], case[1], dict(case[2])))
+
+
+class TestTopologySerde:
+    @FAST
+    @given(case=topology_specs())
+    def test_hardware_topology_round_trips_losslessly(self, case):
+        rows, cols, spec = case
+        scenario = Scenario(hardware=HardwareSpec(rows=rows, cols=cols,
+                                                  topology=spec))
+        restored = Scenario.from_dict(scenario.to_dict())
+        assert restored == scenario
+        assert restored.hardware.topology == spec
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    @FAST
+    @given(first=topology_specs(), second=topology_specs())
+    def test_cache_key_changes_iff_topology_differs(self, first, second):
+        rows, cols = 4, 8
+
+        def scenario(spec):
+            # Keep only the fabric name/params: geometry is pinned so the
+            # key can only differ through the topology section. Not every
+            # sampled spec is valid on 4x8, so filter to the ones that are.
+            try:
+                return Scenario(hardware=HardwareSpec(rows=rows, cols=cols,
+                                                      topology=spec[2]))
+            except Exception:
+                return None
+
+        left, right = scenario(first), scenario(second)
+        if left is None or right is None:
+            return
+        assert (left.cache_key() == right.cache_key()) \
+            == (first[2] == second[2])
+
+    @FAST
+    @given(case=topology_specs())
+    def test_unset_and_explicit_mesh_have_distinct_keys(self, case):
+        rows, cols, _ = case
+        unset = Scenario(hardware=HardwareSpec(rows=rows, cols=cols))
+        explicit = Scenario(hardware=HardwareSpec(
+            rows=rows, cols=cols, topology={"name": "mesh"}))
+        assert unset.cache_key() != explicit.cache_key()
+
+    @FAST
+    @given(case=topology_specs())
+    def test_non_topology_perturbation_keeps_sections_independent(self, case):
+        rows, cols, spec = case
+        scenario = Scenario(hardware=HardwareSpec(rows=rows, cols=cols,
+                                                  topology=spec))
+        perturbed = dataclasses.replace(
+            scenario,
+            solver=dataclasses.replace(scenario.solver,
+                                       seed=scenario.solver.seed + 1))
+        assert perturbed.cache_key() != scenario.cache_key()
+        assert perturbed.to_dict()["hardware"] \
+            == scenario.to_dict()["hardware"]

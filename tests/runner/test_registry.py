@@ -13,15 +13,16 @@ from repro.runner.registry import (
     get_experiment,
 )
 
-#: Every figure/table of the paper's evaluation, in registry order.
+#: Every figure/table of the paper's evaluation plus the topology-zoo
+#: study, in registry (sorted) order.
 EXPECTED_FIGURES = [
-    "fig04", "fig07", "fig09", "fig13", "fig14", "fig15", "fig16", "fig17",
-    "fig18", "fig19", "fig20", "fig21", "search_time",
+    "fabric_zoo", "fig04", "fig07", "fig09", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "search_time",
 ]
 
 
 class TestRegistry:
-    def test_all_thirteen_figures_registered(self):
+    def test_all_fourteen_figures_registered(self):
         assert figure_ids() == EXPECTED_FIGURES
 
     def test_lookup_unknown_figure_lists_known_ids(self):

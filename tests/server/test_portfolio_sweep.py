@@ -145,7 +145,7 @@ class TestManifest:
         assert any("failed" in problem for problem in problems)
 
 
-@pytest.mark.parametrize("figure", ["fig13", "fig19"])
+@pytest.mark.parametrize("figure", ["fig13", "fig19", "fabric_zoo"])
 class TestOrchestratorParity:
     def test_local_sweep_rows_identical_to_orchestrator(self, figure):
         template = get_portfolio(figure)
@@ -290,3 +290,52 @@ class TestSweepCli:
         second = client.sweep(portfolio, poll_interval=0.05, timeout=60)
         assert first["results"] == second["results"]
         assert all(source == "store" for source in second["sources"])
+
+
+class TestFabricZooSweep:
+    """Acceptance: the topology zoo swept as a portfolio axis, with a
+    validated manifest, in local (batched and per-point) and server modes."""
+
+    def _reference_rows(self):
+        reference = orchestrator.run_experiment("fabric_zoo", reduced=True)
+        return json.loads(json.dumps(reference["rows"], allow_nan=False))
+
+    def test_reduced_grid_covers_every_registered_fabric(self):
+        from repro.experiments.fabric_zoo import FABRICS
+        from repro.hardware.topologies import topology_names
+
+        portfolio = get_portfolio("fabric_zoo").build(True)
+        labels = [point.params["fabric"] for point in portfolio.expand()]
+        assert labels == list(FABRICS)
+        assert set(labels) == set(topology_names())
+
+    def test_fabrics_produce_distinct_costs(self):
+        manifest = orchestrator.run_experiment("fabric_zoo", reduced=True)
+        by_fabric = {row["fabric"]: row for row in manifest["rows"]}
+        mesh = by_fabric["mesh"]
+        distinct = [fabric for fabric, row in by_fabric.items()
+                    if fabric != "mesh"
+                    and row["throughput"] != mesh["throughput"]]
+        assert len(distinct) >= 3, by_fabric
+
+    def test_local_batched_and_unbatched_sweeps_match_repro_run(
+            self, tmp_path):
+        reference = self._reference_rows()
+        for index, flags in enumerate(([], ["--no-batched"])):
+            out = tmp_path / f"sweep-{index}"
+            assert main(["sweep", "fabric_zoo", "--reduced", *flags,
+                         "--output-dir", str(out)]) == 0
+            manifest = json.loads((out / "fabric_zoo.json").read_text())
+            assert manifest["rows"] == reference
+            assert validate_manifest(
+                manifest, get_experiment("fabric_zoo")) == []
+
+    def test_server_sweep_matches_repro_run(self, server, tmp_path):
+        assert main(["sweep", "fabric_zoo", "--reduced",
+                     "--server", f"127.0.0.1:{server.port}",
+                     "--output-dir", str(tmp_path)]) == 0
+        manifest = json.loads((tmp_path / "fabric_zoo.json").read_text())
+        assert manifest["rows"] == self._reference_rows()
+        assert manifest["sweep"]["mode"] == "server"
+        assert validate_manifest(
+            manifest, get_experiment("fabric_zoo")) == []
