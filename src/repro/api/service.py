@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -33,6 +34,8 @@ from repro.core.framework import (
 from repro.core.multiwafer import MultiWaferResult, run_multiwafer_scenario
 from repro.costmodel.tables import PlanCache
 from repro.hardware.gpu_cluster import GPUCluster
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import span, tracing_enabled
 from repro.hardware.wafer import WaferScaleChip
 from repro.parallelism.baselines import candidate_specs
 from repro.simulation.config import SimulatorConfig
@@ -97,6 +100,12 @@ class PlanResult:
     pp_degree: int = 0
     relative_throughput: Optional[float] = None
     schema_version: int = SCHEMA_VERSION
+
+    # Per-request stage timings, attached by PlanService.evaluate when
+    # tracing is enabled. Deliberately an un-annotated class attribute —
+    # NOT a dataclass field — so to_dict() payloads, the exact-field-set
+    # schema check, and cross-path bit-identity are untouched.
+    telemetry = None
 
     @property
     def label(self) -> str:
@@ -296,8 +305,15 @@ class PlanService:
     results are bit-identical with a private or a shared service.
     """
 
-    def __init__(self, plan_cache: Optional[PlanCache] = None) -> None:
+    def __init__(self, plan_cache: Optional[PlanCache] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._evaluations = self.registry.counter(
+            "service.evaluations", help="PlanService.evaluate calls")
+        self._evaluate_hist = self.registry.histogram(
+            "service.evaluate_seconds",
+            help="end-to-end PlanService.evaluate latency")
         self._wafers: Dict[Tuple, WaferScaleChip] = {}
 
     def stats(self) -> Dict[str, object]:
@@ -348,19 +364,43 @@ class PlanService:
         wafer: Optional[WaferScaleChip] = None,
         config: Optional[SimulatorConfig] = None,
     ) -> PlanResult:
-        """Evaluate ``scenario`` and return the flat :class:`PlanResult`."""
-        raw = self.evaluate_raw(scenario, wafer=wafer, config=config)
-        if isinstance(raw, PlanResult):
-            return raw
-        if isinstance(raw, MultiWaferResult):
-            return PlanResult.from_multiwafer(raw)
-        if isinstance(raw, FaultToleranceResult):
-            return PlanResult.from_fault(
-                raw, engine=scenario.solver.engine,
-                scheme=scenario.solver.scheme)
-        kind = ("fixed_spec" if scenario.solver.fixed_spec is not None
-                else "single_wafer")
-        return PlanResult.from_baseline(raw, kind=kind)
+        """Evaluate ``scenario`` and return the flat :class:`PlanResult`.
+
+        With tracing enabled the result additionally carries a
+        ``telemetry`` attribute — ``{"evaluate_seconds", "stages"}`` with
+        the wall time of each direct child stage span (candidate search,
+        simulation, solver levels). It is not a dataclass field: the
+        serialized payload stays bit-identical either way.
+        """
+        start = time.perf_counter()
+        with span("service.evaluate",
+                  model=scenario.workload.model) as evaluate_span:
+            raw = self.evaluate_raw(scenario, wafer=wafer, config=config)
+            if isinstance(raw, PlanResult):
+                result = raw
+            elif isinstance(raw, MultiWaferResult):
+                result = PlanResult.from_multiwafer(raw)
+            elif isinstance(raw, FaultToleranceResult):
+                result = PlanResult.from_fault(
+                    raw, engine=scenario.solver.engine,
+                    scheme=scenario.solver.scheme)
+            else:
+                kind = ("fixed_spec"
+                        if scenario.solver.fixed_spec is not None
+                        else "single_wafer")
+                result = PlanResult.from_baseline(raw, kind=kind)
+        elapsed = time.perf_counter() - start
+        self._evaluations.inc()
+        self._evaluate_hist.observe(elapsed)
+        if tracing_enabled():
+            # object.__setattr__: PlanResult is frozen, and telemetry is a
+            # per-instance annotation, not part of the result value.
+            object.__setattr__(result, "telemetry", {
+                "evaluate_seconds": round(elapsed, 9),
+                "stages": {name: round(seconds, 9) for name, seconds
+                           in sorted(evaluate_span.stages.items())},
+            })
+        return result
 
     def evaluate_raw(
         self,
@@ -402,6 +442,10 @@ class PlanService:
         if scenario.hardware.platform != "wafer":
             raise ScenarioError(
                 "the dual-level solver only runs on the wafer platform")
+        with span("service.solve", model=scenario.workload.model):
+            return self._solve_raw(scenario)
+
+    def _solve_raw(self, scenario: Scenario) -> SolverResult:
         solver_spec = scenario.solver
         genetic_config = None
         if solver_spec.ga_generations is not None:

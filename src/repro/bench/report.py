@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.bench.registry import Benchmark, get_benchmark
+from repro.obs.tracing import span
 
 #: Version of the BENCH report schema.
 BENCH_VERSION = 1
@@ -76,9 +77,10 @@ def run_benchmark(
     seconds: List[float] = []
     extras: Dict[str, object] = {}
     for _ in range(repeat):
-        start = time.perf_counter()
-        result = benchmark.fn()
-        seconds.append(time.perf_counter() - start)
+        with span("bench.run", benchmark=benchmark.name):
+            start = time.perf_counter()
+            result = benchmark.fn()
+            seconds.append(time.perf_counter() - start)
         if result:
             extras = dict(result)
     return {

@@ -1,6 +1,6 @@
 """The seed benchmark suite (imported by ``registry.ensure_loaded``).
 
-Seven benchmarks spanning the paths the repo cares about going fast:
+Eight benchmarks spanning the paths the repo cares about going fast:
 
 * ``dls_search`` — the dual-level solver end to end (the paper's own
   search-time figure is the reason this repo tracks perf at all);
@@ -14,6 +14,8 @@ Seven benchmarks spanning the paths the repo cares about going fast:
 * ``scenario_serde`` — scenario document round-trips (the wire format);
 * ``server_roundtrip`` — plan requests through the real HTTP server and
   client;
+* ``trace_overhead`` — the batched fig13 sweep on the default disabled
+  tracing path, quantifying the instrumentation cost (pinned under 2%);
 * ``topology_routing`` — construction plus routing/ring queries across
   every registered fabric family of the topology zoo.
 
@@ -209,6 +211,66 @@ def bench_server_roundtrip() -> Optional[Dict[str, object]]:
     return {"requests": requests,
             "evaluated": sources.count("evaluated"),
             "cached": len(sources) - sources.count("evaluated")}
+
+
+@register_benchmark(
+    name="trace_overhead",
+    title="Tracing overhead on the fig13 reduced sweep",
+    description="The batched fig13 sweep with tracing disabled (the timed "
+                "path), plus extras quantifying the instrumentation cost: "
+                "the per-span no-op price, the span count a traced sweep "
+                "emits, and the estimated disabled-path overhead — pinned "
+                "under 2% of the sweep's wall time.",
+    repeat=3,
+)
+def bench_trace_overhead() -> Optional[Dict[str, object]]:
+    from repro.obs.tracing import (
+        configure_tracing,
+        disable_tracing,
+        get_tracer,
+        span,
+    )
+    from repro.server.portfolio import run_portfolio_local
+
+    portfolio, points = _fig13_portfolio()
+    # The timed path is the production default: instrumented, disabled.
+    start = time.perf_counter()
+    run_portfolio_local(portfolio, jobs=1, points=points, batched=True)
+    sweep_seconds = time.perf_counter() - start
+
+    # Price of one disabled span (a dict lookup + a shared no-op context).
+    rounds = 100_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with span("bench.noop"):
+            pass
+    noop_span_seconds = (time.perf_counter() - start) / rounds
+
+    # Span volume of the same sweep when tracing is on (buffered mode).
+    if "trace_overhead_spans" not in _STATE:
+        configure_tracing(buffered=True)
+        try:
+            run_portfolio_local(portfolio, jobs=1, points=points,
+                                batched=True)
+            _STATE["trace_overhead_spans"] = len(get_tracer().drain())
+        finally:
+            disable_tracing()
+    spans_emitted = _STATE["trace_overhead_spans"]
+
+    overhead_pct = (100.0 * spans_emitted * noop_span_seconds
+                    / sweep_seconds if sweep_seconds else 0.0)
+    if overhead_pct >= 2.0:
+        raise AssertionError(
+            f"disabled-path tracing overhead {overhead_pct:.3f}% breaches "
+            f"the 2% budget ({spans_emitted} spans x "
+            f"{noop_span_seconds * 1e9:.0f} ns over {sweep_seconds:.3f}s)")
+    return {
+        "points": len(points),
+        "sweep_seconds": round(sweep_seconds, 6),
+        "noop_span_ns": round(noop_span_seconds * 1e9, 1),
+        "spans_per_sweep": spans_emitted,
+        "disabled_overhead_pct": round(overhead_pct, 4),
+    }
 
 
 @register_benchmark(

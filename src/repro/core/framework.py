@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from repro.api.scenario import SolverSpec
 from repro.costmodel.tables import PlanCache
 from repro.hardware.wafer import WaferScaleChip
+from repro.obs.tracing import span
 from repro.parallelism.baselines import BaselineScheme, candidate_specs
 from repro.parallelism.spec import ParallelSpec
 from repro.simulation.config import SimulatorConfig
@@ -155,10 +156,11 @@ def simulate_fixed_spec(
               else scenario.hardware.resolve_simulator())
     plan_cache = plan_cache if plan_cache is not None else PlanCache()
     simulator = WaferSimulator(wafer, config)
-    report = _simulate_with_fallback(
-        simulator, plan_cache, model, spec, wafer.num_dies, solver.engine,
-        allow_checkpointing=solver.allow_checkpoint_fallback,
-        report_cache=report_cache)
+    with span("evaluate.simulate", spec=spec.label()):
+        report = _simulate_with_fallback(
+            simulator, plan_cache, model, spec, wafer.num_dies, solver.engine,
+            allow_checkpointing=solver.allow_checkpoint_fallback,
+            report_cache=report_cache)
     return BaselineResult(
         scheme=solver.resolved_scheme(),
         engine=solver.engine,
@@ -230,24 +232,25 @@ def _search_baseline(
     # Pruning and the simulation loop below analyse the same specs; the plan
     # cache derives each execution plan exactly once.
     plan_cache = plan_cache if plan_cache is not None else PlanCache()
-    all_specs = candidate_specs(
-        scheme, num_devices,
-        max_tp=scheme_max_tp(scheme, model),
-        max_tatp=max_tatp,
-        pipeline_degrees=pipeline_degrees,
-    )
-    specs = prune_specs(all_specs, model, wafer.config, memory_margin=2.0,
-                        plan_cache=plan_cache)
-    if not specs and all_specs:
-        # Every configuration is hopelessly over capacity (e.g. Megatron-1 on a
-        # 175B model); keep the least-infeasible one so the OOM bar can still
-        # be reported.
-        specs = [min(
-            all_specs,
-            key=lambda s: plan_cache.analyze(model, s, num_devices=num_devices)
-            .memory.total)]
-    if max_candidates is not None and len(specs) > max_candidates:
-        specs = downsample_specs(specs, max_candidates)
+    with span("evaluate.candidates", scheme=scheme.value):
+        all_specs = candidate_specs(
+            scheme, num_devices,
+            max_tp=scheme_max_tp(scheme, model),
+            max_tatp=max_tatp,
+            pipeline_degrees=pipeline_degrees,
+        )
+        specs = prune_specs(all_specs, model, wafer.config, memory_margin=2.0,
+                            plan_cache=plan_cache)
+        if not specs and all_specs:
+            # Every configuration is hopelessly over capacity (e.g. Megatron-1
+            # on a 175B model); keep the least-infeasible one so the OOM bar
+            # can still be reported.
+            specs = [min(
+                all_specs,
+                key=lambda s: plan_cache.analyze(
+                    model, s, num_devices=num_devices).memory.total)]
+        if max_candidates is not None and len(specs) > max_candidates:
+            specs = downsample_specs(specs, max_candidates)
 
     reports: Dict[str, SimulationReport] = {}
     best_spec: Optional[ParallelSpec] = None
@@ -260,19 +263,22 @@ def _search_baseline(
     # with its published (selective-recompute-only) recipe.
     allow_checkpointing = scheme is not BaselineScheme.MEGATRON1
 
-    for spec in specs:
-        report = _simulate_with_fallback(
-            simulator, plan_cache, model, spec, num_devices, engine,
-            allow_checkpointing=allow_checkpointing,
-            report_cache=report_cache)
-        reports[spec.label()] = report
-        if report.oom:
-            if (fallback_report is None
-                    or report.memory_pressure < fallback_report.memory_pressure):
-                fallback_spec, fallback_report = spec, report
-            continue
-        if best_report is None or report.step_time < best_report.step_time:
-            best_spec, best_report = spec, report
+    with span("evaluate.simulate", candidates=len(specs)):
+        for spec in specs:
+            report = _simulate_with_fallback(
+                simulator, plan_cache, model, spec, num_devices, engine,
+                allow_checkpointing=allow_checkpointing,
+                report_cache=report_cache)
+            reports[spec.label()] = report
+            if report.oom:
+                if (fallback_report is None
+                        or (report.memory_pressure
+                            < fallback_report.memory_pressure)):
+                    fallback_spec, fallback_report = spec, report
+                continue
+            if (best_report is None
+                    or report.step_time < best_report.step_time):
+                best_spec, best_report = spec, report
 
     if best_report is not None:
         return BaselineResult(

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hardware.config import WaferConfig
+from repro.obs.metrics import CounterBundle
+from repro.obs.tracing import span
 from repro.parallelism.spec import ParallelSpec
 from repro.parallelism.strategies import (
     DEFAULT_MICROBATCHES,
@@ -68,9 +70,26 @@ class PlanCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
-        self.hits = 0
-        self.misses = 0
+        self.counters = CounterBundle(hits=0, misses=0)
         self._plans: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+
+    # hits/misses stay plain attributes (read by SolverResult and tests);
+    # the bundle behind them is the shared snapshot()/merge() convention.
+    @property
+    def hits(self) -> int:
+        return self.counters.hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.counters.hits = value
+
+    @property
+    def misses(self) -> int:
+        return self.counters.misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.counters.misses = value
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -116,8 +135,7 @@ class PlanCache:
         across process boundaries.
         """
         return {
-            "hits": self.hits,
-            "misses": self.misses,
+            **self.counters.snapshot(),
             "entries": len(self._plans),
             "max_entries": self.max_entries,
         }
@@ -535,6 +553,10 @@ class CostTables:
 
     def _build_reshard(self, operator: Operator) -> np.ndarray:
         """Vectorized Eq. (3) over every (producer spec, consumer spec) pair."""
+        with span("tables.reshard", specs=self.num_specs):
+            return self._build_reshard_matrix(operator)
+
+    def _build_reshard_matrix(self, operator: Operator) -> np.ndarray:
         cols, wafer, config = self._cols, self.wafer, self.config
         volume = (
             operator.output_bytes * self._reshard_fraction

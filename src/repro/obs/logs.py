@@ -1,0 +1,75 @@
+"""Structured logging: the ``repro`` logger with an optional JSON formatter.
+
+Every CLI verb accepts ``--log-level`` / ``--log-json``; both feed
+:func:`setup_logging`, which configures the ``"repro"`` logger namespace
+(components log via ``logging.getLogger("repro.<area>")``). JSON mode
+emits one object per line — ``{"ts", "level", "logger", "message"}`` plus
+any ``extra`` fields — so server logs can be shipped without a parser.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional
+
+#: Attributes of a LogRecord that are plumbing, not user payload.
+_RESERVED = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None).__dict__) | {"message", "asctime",
+                                             "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra={...}`` keys ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                except (TypeError, ValueError):
+                    value = repr(value)
+                document[key] = value
+        if record.exc_info:
+            document["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-oriented single-line format with wall-clock timestamps."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S")
+
+    def formatTime(self, record: logging.LogRecord,
+                   datefmt: Optional[str] = None) -> str:
+        return time.strftime(datefmt or "%H:%M:%S",
+                             time.localtime(record.created))
+
+
+def setup_logging(level: str = "warning", json_mode: bool = False,
+                  stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent, returns the logger.
+
+    Replaces any handler a previous call installed, so tests and repeated
+    CLI dispatches reconfigure cleanly instead of stacking handlers.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper(), logging.WARNING))
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else TextFormatter())
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

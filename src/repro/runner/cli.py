@@ -23,6 +23,14 @@ Sub-commands::
     repro bench all --repeat 3 --json BENCH_ci.json   # run benchmark suite
     repro bench --list                 # registered benchmarks
     repro bench --compare BENCH_baseline.json BENCH_ci.json --threshold 40
+    repro obs summarize out.jsonl      # per-span-name timing table
+    repro obs chrome out.jsonl -o out.trace.json  # chrome://tracing export
+
+Observability flags: every verb accepts ``--log-level`` / ``--log-json``
+(structured stdlib logging on the ``repro`` logger), and the evaluation
+verbs (``plan``, ``run``, ``sweep``, ``serve``, ``bench``) accept
+``--trace PATH`` to record nested timing spans as JSON lines — including
+spans drained back from pool workers.
 """
 
 from __future__ import annotations
@@ -33,6 +41,8 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.obs.logs import setup_logging
+from repro.obs.tracing import configure_tracing, disable_tracing
 from repro.runner import docs as docs_module
 from repro.runner import manifest as manifest_module
 from repro.runner import orchestrator, registry
@@ -49,13 +59,29 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproductions.")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Flags shared by every verb (logging) and by the evaluation verbs
+    # (tracing); argparse merges parent parsers into each subparser.
+    logged = argparse.ArgumentParser(add_help=False)
+    logged.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="log level of the 'repro' logger "
+                             "(default: %(default)s)")
+    logged.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines instead of text")
+    traced = argparse.ArgumentParser(add_help=False, parents=[logged])
+    traced.add_argument("--trace", metavar="PATH", default=None,
+                        help="record timing spans to this JSON-lines file "
+                             "(summarize with 'repro obs summarize PATH')")
+
     list_parser = sub.add_parser(
-        "list", help="list registered figures (or topologies)")
+        "list", parents=[logged],
+        help="list registered figures (or topologies)")
     list_parser.add_argument(
         "--topologies", action="store_true",
         help="list the registered interconnect fabric families instead")
 
-    run = sub.add_parser("run", help="run one figure (or 'all')")
+    run = sub.add_parser("run", parents=[traced],
+                         help="run one figure (or 'all')")
     run.add_argument("figure", help="registered figure id, or 'all'")
     run.add_argument("--reduced", action="store_true",
                      help="use the fast reduced grids (CI fidelity)")
@@ -67,7 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run without writing manifests")
 
     plan = sub.add_parser(
-        "plan",
+        "plan", parents=[traced],
         help="evaluate Scenario API request(s) (JSON object or array) "
              "end to end")
     plan.add_argument(
@@ -89,7 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSON output indentation (default: %(default)s)")
 
     serve = sub.add_parser(
-        "serve",
+        "serve", parents=[traced],
         help="run the long-lived plan server (batched, deduplicated, "
              "disk-cached Scenario serving over HTTP)")
     serve.add_argument("--host", default="127.0.0.1",
@@ -130,7 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "the REPRO_CHAOS environment variable)")
 
     submit = sub.add_parser(
-        "submit",
+        "submit", parents=[logged],
         help="submit scenario(s) to a running plan server")
     submit.add_argument(
         "scenario", nargs="?", default=None,
@@ -156,7 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSON output indentation (default: %(default)s)")
 
     sweep = sub.add_parser(
-        "sweep",
+        "sweep", parents=[traced],
         help="expand a portfolio (a named family of scenarios) through the "
              "plan scheduler and emit a validated manifest")
     sweep.add_argument(
@@ -197,13 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: %(default)s)")
 
     check = sub.add_parser(
-        "check", help="validate that every registered figure has a manifest")
+        "check", parents=[logged],
+        help="validate that every registered figure has a manifest")
     check.add_argument("--output-dir", default=DEFAULT_OUTPUT_DIR,
                        help="manifest directory (default: %(default)s)")
 
     docs = sub.add_parser(
-        "docs", help="regenerate EXPERIMENTS.md and BENCHMARKS.md from "
-                     "the registries")
+        "docs", parents=[logged],
+        help="regenerate EXPERIMENTS.md and BENCHMARKS.md from "
+             "the registries")
     docs.add_argument("--check", action="store_true",
                       help="verify the generated docs are up to date "
                            "instead of writing them")
@@ -214,7 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="BENCHMARKS.md path (default: %(default)s)")
 
     bench = sub.add_parser(
-        "bench",
+        "bench", parents=[traced],
         help="run registered benchmarks (warmup + timed repeats) and emit "
              "or compare BENCH_*.json perf reports")
     bench.add_argument("name", nargs="?", default="all",
@@ -238,6 +266,28 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="regression threshold for --compare, in "
                             "percent (default: %(default)s)")
+
+    obs = sub.add_parser(
+        "obs", parents=[logged],
+        help="analyze --trace files (per-span summaries, Chrome export)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", parents=[logged],
+        help="per-span-name count/total/mean/p50/p95/max table")
+    # dest avoids colliding with the --trace *output* flag in main().
+    summarize.add_argument("trace_file", metavar="TRACE",
+                           help="JSON-lines trace file (--trace output)")
+    summarize.add_argument("--json", action="store_true", dest="json_out",
+                           help="emit the summary rows as JSON instead of "
+                                "a table")
+    chrome = obs_sub.add_parser(
+        "chrome", parents=[logged],
+        help="convert a trace to the Chrome trace_event JSON format "
+             "(chrome://tracing, Perfetto)")
+    chrome.add_argument("trace_file", metavar="TRACE",
+                        help="JSON-lines trace file (--trace output)")
+    chrome.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="output path (default: stdout)")
     return parser
 
 
@@ -772,28 +822,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.tracing import read_trace, summarize_trace, to_chrome_trace
+
+    try:
+        records = read_trace(args.trace_file)
+    except OSError as error:
+        print(f"error: cannot read {args.trace_file}: {error}",
+              file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: no span records in {args.trace_file}",
+              file=sys.stderr)
+        return 1
+
+    if args.obs_command == "chrome":
+        document = json.dumps(to_chrome_trace(records), sort_keys=True)
+        if args.output is None:
+            print(document)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+            print(f"wrote {args.output} ({len(records)} spans)")
+        return 0
+
+    rows = summarize_trace(records)
+    if args.json_out:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    width = max(len(str(row["name"])) for row in rows)
+    print(f"{'span':<{width}}  {'count':>6} {'total':>10} {'mean':>10} "
+          f"{'p50':>10} {'p95':>10} {'max':>10}")
+    for row in rows:
+        print(f"{row['name']:<{width}}  {row['count']:>6} "
+              f"{row['total_seconds']:>10.4f} {row['mean_seconds']:>10.4f} "
+              f"{row['p50_seconds']:>10.4f} {row['p95_seconds']:>10.4f} "
+              f"{row['max_seconds']:>10.4f}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "plan":
-        return _cmd_plan(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "submit":
-        return _cmd_submit(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "check":
-        return _cmd_check(args)
-    if args.command == "docs":
-        return _cmd_docs(args)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    setup_logging(level=getattr(args, "log_level", "warning"),
+                  json_mode=getattr(args, "log_json", False))
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None:
+        configure_tracing(path=trace_path)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "check":
+            return _cmd_check(args)
+        if args.command == "docs":
+            return _cmd_docs(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        if trace_path is not None:
+            disable_tracing()
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro import __version__
+from repro.obs.tracing import (configure_tracing, get_tracer, span,
+                               tracing_enabled)
 from repro.runner.context import RunContext
 from repro.runner.manifest import MANIFEST_VERSION, finite, write_manifest
 from repro.runner.registry import Experiment, get_experiment
@@ -54,6 +56,9 @@ class CellOutcome:
     retries: int = 0
     cache_stats: Optional[Dict[str, int]] = None
     pid: int = 0
+    # Buffered span records drained from a pool worker's tracer; the parent
+    # re-emits them into its own sink so one --trace file covers the fleet.
+    spans: Optional[List[Dict[str, object]]] = None
 
 
 def execute_cell(
@@ -75,19 +80,22 @@ def execute_cell(
     rows: List[Dict[str, object]] = []
     error = None
     attempts = 0
-    while True:
-        attempts += 1
-        try:
-            raw_rows = experiment.cell(ctx, **params)
-            rows = [finite({**params, **row}) for row in raw_rows]
-            error = None
-            break
-        except Exception as exc:
-            rows = []
-            error = traceback.format_exc(limit=8)
-            if attempts <= max_retries and is_retryable_exception(exc):
-                continue
-            break
+    # Chaos/unit harnesses drive cells with stub experiments lacking ids.
+    with span("runner.cell", figure=getattr(experiment, "figure", "?"),
+              params=dict(params)):
+        while True:
+            attempts += 1
+            try:
+                raw_rows = experiment.cell(ctx, **params)
+                rows = [finite({**params, **row}) for row in raw_rows]
+                error = None
+                break
+            except Exception as exc:
+                rows = []
+                error = traceback.format_exc(limit=8)
+                if attempts <= max_retries and is_retryable_exception(exc):
+                    continue
+                break
     wall = time.perf_counter() - start
     oom_rows = sum(1 for row in rows if row.get("oom"))
     # Chaos/unit harnesses drive cells with a stub context; they simply
@@ -100,10 +108,14 @@ def execute_cell(
                        pid=os.getpid())
 
 
-def _init_worker(reduced: bool) -> None:
+def _init_worker(reduced: bool, trace: bool = False) -> None:
     """Pool initializer: one shared RunContext per worker process."""
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = RunContext(reduced=reduced)
+    if trace:
+        # Workers buffer spans in memory; each cell's batch rides back on
+        # the CellOutcome and the parent re-emits it into the trace file.
+        configure_tracing(buffered=True)
 
 
 def _run_cell_in_worker(figure: str, params: Dict[str, object],
@@ -112,7 +124,10 @@ def _run_cell_in_worker(figure: str, params: Dict[str, object],
     global _WORKER_CONTEXT
     if _WORKER_CONTEXT is None:
         _WORKER_CONTEXT = RunContext(reduced=reduced)
-    return execute_cell(get_experiment(figure), params, _WORKER_CONTEXT)
+    outcome = execute_cell(get_experiment(figure), params, _WORKER_CONTEXT)
+    if tracing_enabled():
+        outcome.spans = get_tracer().drain()
+    return outcome
 
 
 def run_experiment(
@@ -160,7 +175,7 @@ def run_experiment(
             pool = ProcessPoolExecutor(
                 max_workers=min(jobs, len(cells)),
                 initializer=_init_worker,
-                initargs=(reduced,),
+                initargs=(reduced, tracing_enabled()),
             )
         try:
             # executor.map preserves submission order, so rows come back in
@@ -170,6 +185,11 @@ def run_experiment(
                 _run_cell_in_worker,
                 [figure] * len(cells), cells, [reduced] * len(cells),
             ):
+                if outcome.spans:
+                    tracer = get_tracer()
+                    for record in outcome.spans:
+                        tracer.emit(record)
+                    outcome.spans = None
                 outcomes.append(outcome)
                 _report(progress, figure, outcome)
         finally:
@@ -197,7 +217,7 @@ def sweep_resources(jobs: int, reduced: bool):
     if jobs > 1:
         pool = ProcessPoolExecutor(max_workers=jobs,
                                    initializer=_init_worker,
-                                   initargs=(reduced,))
+                                   initargs=(reduced, tracing_enabled()))
         try:
             yield pool, None
         finally:

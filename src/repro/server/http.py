@@ -23,6 +23,10 @@ only runtime dependency stays ``numpy``:
 * ``GET /healthz`` — liveness/readiness probe.
 * ``GET /metrics`` — the scheduler's counter document (requests, dedup,
   store hits/misses, plan-cache hits/misses, latency, portfolio jobs).
+  ``GET /metrics?format=prometheus`` serves the same data in the
+  Prometheus text exposition format (version 0.0.4) with native
+  ``_bucket``/``_sum``/``_count`` histogram series aggregated across the
+  worker pool.
 
 Malformed requests get structured ``{"error": {...}}`` bodies with 400-class
 statuses, never tracebacks. Load-shed requests (admission control) get a
@@ -37,8 +41,9 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.server.portfolio import PortfolioManager
 from repro.server.scheduler import PlanRequestError, PlanScheduler, error_payload
 
@@ -60,6 +65,21 @@ _STATUS_TEXT = {
 
 class _BadRequest(Exception):
     """An unparsable HTTP request (maps to a structured 400)."""
+
+
+class RawBody:
+    """A non-JSON response body with its own content type.
+
+    Routes return one of these instead of a JSON payload when the wire
+    format is not JSON — e.g. the Prometheus text exposition of
+    ``GET /metrics?format=prometheus``.
+    """
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 class PlanServer:
@@ -189,23 +209,28 @@ class PlanServer:
         return method, target, body
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: Dict[str, object],
+                       payload: Union[Dict[str, object], RawBody],
                        headers: Optional[Dict[str, str]] = None) -> None:
-        try:
-            body = json.dumps(payload, sort_keys=True,
-                              allow_nan=False).encode("utf-8")
-        except (TypeError, ValueError) as error:
-            # A payload that is not strict JSON (e.g. a stray inf) must not
-            # take the connection down with it.
-            status = 500
-            body = json.dumps(
-                error_payload(f"unserializable response: {error}",
-                              kind="internal", status=500),
-                sort_keys=True).encode("utf-8")
+        if isinstance(payload, RawBody):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            content_type = "application/json"
+            try:
+                body = json.dumps(payload, sort_keys=True,
+                                  allow_nan=False).encode("utf-8")
+            except (TypeError, ValueError) as error:
+                # A payload that is not strict JSON (e.g. a stray inf) must
+                # not take the connection down with it.
+                status = 500
+                body = json.dumps(
+                    error_payload(f"unserializable response: {error}",
+                                  kind="internal", status=500),
+                    sort_keys=True).encode("utf-8")
         reason = _STATUS_TEXT.get(status, "Unknown")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
@@ -222,8 +247,9 @@ class PlanServer:
 
     async def _route(
             self, method: str, target: str, body: bytes
-    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
-        target = target.split("?", 1)[0]
+    ) -> Tuple[int, Union[Dict[str, object], RawBody],
+               Optional[Dict[str, str]]]:
+        target, _, query = target.partition("?")
         if target == "/healthz":
             if method != "GET":
                 return self._method_not_allowed("GET")
@@ -233,6 +259,12 @@ class PlanServer:
                 return self._method_not_allowed("GET")
             stats = self.scheduler.stats()
             stats["portfolios"] = self.portfolios.stats()
+            if _query_params(query).get("format") == "prometheus":
+                text = render_prometheus(
+                    stats,
+                    self.scheduler.merged_registry().histogram_snapshots())
+                return 200, RawBody(text.encode("utf-8"),
+                                    PROMETHEUS_CONTENT_TYPE), None
             return 200, stats, None
         if target == "/v1/portfolio":
             if method == "POST":
@@ -331,6 +363,18 @@ class PlanServer:
         errors = sum(1 for result in results if "error" in result)
         headers = {"X-Repro-Errors": str(errors)}
         return 200, {"results": results, "errors": errors}, headers
+
+
+def _query_params(query: str) -> Dict[str, str]:
+    """A query string as a flat dict (last value wins, no decoding needed
+    for the single ASCII parameter the server understands)."""
+    params: Dict[str, str] = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        params[name] = value
+    return params
 
 
 def _parse_json(

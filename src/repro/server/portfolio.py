@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 
 from repro import __version__
 from repro.api.portfolio import Portfolio, PortfolioError, PortfolioPoint
+from repro.obs.tracing import span
 from repro.server.resilience import RetryPolicy
 from repro.server.scheduler import PlanRequestError, PlanScheduler
 
@@ -133,11 +134,12 @@ async def sweep_portfolio(
         nonlocal completed
         first = unique[key][0]
         start = time.perf_counter()
-        if gate is not None:
-            async with gate:
+        with span("sweep.point", cache_key=key, fanout=len(unique[key])):
+            if gate is not None:
+                async with gate:
+                    payload, source = await _submit(first.scenario)
+            else:
                 payload, source = await _submit(first.scenario)
-        else:
-            payload, source = await _submit(first.scenario)
         wall = time.perf_counter() - start
         outcome = PointOutcome(
             index=first.index, params=first.params, payload=payload,

@@ -63,6 +63,8 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.api.scenario import Scenario, ScenarioError
 from repro.api.service import PlanService
+from repro.obs.metrics import COUNT_BUCKETS, CounterBundle, MetricsRegistry
+from repro.obs.tracing import configure_tracing, get_tracer, span, tracing_enabled
 from repro.server.faults import FaultInjector, mark_pool_worker
 from repro.server.resilience import RetryPolicy, classify_exception
 from repro.server.store import ResultStore
@@ -139,22 +141,33 @@ def _evaluate_doc(service: PlanService,
 
 def evaluate_group(service: PlanService,
                    docs: List[Dict[str, object]],
-                   chaos: Optional[FaultInjector] = None) -> Tuple[
+                   trace_context: Optional[Dict[str, str]] = None,
+                   chaos: Optional[FaultInjector] = None,
+                   drain_spans: bool = False) -> Tuple[
                        List[Dict[str, object]], Dict[str, object]]:
     """Evaluate one hardware-compatible group on one service.
 
     Returns the per-document payloads plus a worker telemetry snapshot
-    (pid + plan-cache counters) the scheduler folds into ``stats()``.
-    The chaos hook fires *outside* the per-document containment, so an
-    injected worker crash escapes like a real one would.
+    (pid, plan-cache counters, the service's metrics-registry snapshot,
+    and — in pool workers, where ``drain_spans`` is set — the buffered
+    trace spans) the scheduler folds into ``stats()`` and its trace sink.
+    ``trace_context`` parents the worker's spans under the scheduler's
+    dispatch span across the thread/process boundary. The chaos hook
+    fires *outside* the per-document containment, so an injected worker
+    crash escapes like a real one would.
     """
+    tracer = get_tracer()
     payloads = []
-    for doc in docs:
-        if chaos is not None:
-            chaos.on_worker_evaluate(doc)
-        payloads.append(_evaluate_doc(service, doc))
+    with tracer.span_under(trace_context, "scheduler.evaluate_group",
+                           scenarios=len(docs)):
+        for doc in docs:
+            if chaos is not None:
+                chaos.on_worker_evaluate(doc)
+            payloads.append(_evaluate_doc(service, doc))
     telemetry = {"pid": os.getpid(),
-                 "plan_cache": service.plan_cache.stats()}
+                 "plan_cache": service.plan_cache.stats(),
+                 "metrics": service.registry.snapshot(),
+                 "spans": tracer.drain() if drain_spans else []}
     return payloads, telemetry
 
 
@@ -168,11 +181,19 @@ _WORKER_CHAOS: Optional[FaultInjector] = None
 
 
 def _init_pool_worker(chaos_spec: Optional[str] = None,
-                      chaos_state_dir: Optional[str] = None) -> None:
-    """Pool initializer: one persistent PlanService (and chaos) per worker."""
+                      chaos_state_dir: Optional[str] = None,
+                      trace: bool = False) -> None:
+    """Pool initializer: one persistent PlanService (and chaos) per worker.
+
+    ``trace`` arms *buffered* tracing in the worker: spans are collected in
+    memory and shipped back inside group telemetry — workers never contend
+    on the parent's trace file.
+    """
     global _WORKER_SERVICE, _WORKER_CHAOS
     _WORKER_SERVICE = PlanService()
     _WORKER_CHAOS = None
+    if trace:
+        configure_tracing(buffered=True)
     if chaos_spec:
         mark_pool_worker()
         _WORKER_CHAOS = FaultInjector.from_spec(chaos_spec,
@@ -180,13 +201,15 @@ def _init_pool_worker(chaos_spec: Optional[str] = None,
 
 
 def _evaluate_group_in_worker(
-        docs: List[Dict[str, object]]) -> Tuple[
+        docs: List[Dict[str, object]],
+        trace_context: Optional[Dict[str, str]] = None) -> Tuple[
             List[Dict[str, object]], Dict[str, object]]:
     """Top-level (picklable) pool task: evaluate one group."""
     global _WORKER_SERVICE
     if _WORKER_SERVICE is None:
         _WORKER_SERVICE = PlanService()
-    return evaluate_group(_WORKER_SERVICE, docs, chaos=_WORKER_CHAOS)
+    return evaluate_group(_WORKER_SERVICE, docs, trace_context,
+                          chaos=_WORKER_CHAOS, drain_spans=True)
 
 
 # Scheduler ----------------------------------------------------------------------
@@ -219,6 +242,9 @@ class PlanScheduler:
             :data:`DEFAULT_RETRY`).
         chaos: a :class:`~repro.server.faults.FaultInjector` (or its spec
             string) arming deterministic fault injection.
+        registry: the :class:`~repro.obs.metrics.MetricsRegistry` the
+            scheduler's histograms live in (defaults to a private one, so
+            schedulers never share latency distributions by accident).
     """
 
     def __init__(
@@ -232,6 +258,7 @@ class PlanScheduler:
         max_queue: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         chaos: Optional[Union[str, FaultInjector]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -258,24 +285,41 @@ class PlanScheduler:
         self.store = store
         self.service = (service if service is not None else PlanService()) \
             if jobs == 1 else None
-        self.counters: Dict[str, int] = {
-            "requests": 0,
-            "deduped": 0,
-            "evaluations": 0,
-            "errors": 0,
-            "batches": 0,
-            "groups": 0,
-            "retries": 0,
-            "shed": 0,
-            "deadline_expired": 0,
-            "pool_rebuilds": 0,
-            "store_write_failures": 0,
-        }
-        self._latency_count = 0
-        self._latency_total = 0.0
-        self._latency_max = 0.0
+        self.counters = CounterBundle(
+            requests=0,
+            deduped=0,
+            evaluations=0,
+            errors=0,
+            batches=0,
+            groups=0,
+            retries=0,
+            shed=0,
+            deadline_expired=0,
+            pool_rebuilds=0,
+            store_write_failures=0,
+        )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._latency_hist = self.registry.histogram(
+            "scheduler.request_latency_seconds",
+            help="end-to-end submit latency (store hits included)")
+        self._queue_wait_hist = self.registry.histogram(
+            "scheduler.queue_wait_seconds",
+            help="time a request sat in the micro-batch queue")
+        self._assembly_hist = self.registry.histogram(
+            "scheduler.batch_assembly_seconds",
+            help="time spent collecting one micro-batch")
+        self._dispatch_hist = self.registry.histogram(
+            "scheduler.dispatch_seconds",
+            help="worker-pool evaluation time per group (retries included)")
+        self._batch_size_hist = self.registry.histogram(
+            "scheduler.batch_size", buckets=COUNT_BUCKETS,
+            help="requests per dispatched micro-batch")
+        self._store_write_hist = self.registry.histogram(
+            "scheduler.store_write_seconds",
+            help="result-store append latency")
         self._inflight: Dict[str, asyncio.Future] = {}
         self._worker_stats: Dict[int, Dict[str, int]] = {}
+        self._worker_metrics: Dict[int, Dict[str, object]] = {}
         self._queue: Optional[asyncio.Queue] = None
         self._batcher: Optional[asyncio.Task] = None
         self._dispatch_tasks: set = set()
@@ -296,9 +340,11 @@ class PlanScheduler:
             # every request shares its PlanCache and resolved wafers.
             return ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="plan-worker")
-        initargs = ()
-        if self.chaos is not None:
-            initargs = (self.chaos.spec, self.chaos.state_dir)
+        initargs = (
+            self.chaos.spec if self.chaos is not None else None,
+            self.chaos.state_dir if self.chaos is not None else None,
+            tracing_enabled(),
+        )
         return ProcessPoolExecutor(
             max_workers=self.jobs, initializer=_init_pool_worker,
             initargs=initargs)
@@ -390,33 +436,40 @@ class PlanScheduler:
         start = time.perf_counter()
         self.counters["requests"] += 1
         key = scenario.cache_key()
-        if self.store is not None:
-            stored = self.store.get(key)
-            if stored is not None:
+        with span("scheduler.request", cache_key=key) as request_span:
+            if self.store is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    self._record_latency(start)
+                    return stored, "store"
+            future = self._inflight.get(key)
+            if future is not None:
+                self.counters["deduped"] += 1
+                payload = copy.deepcopy(await self._await_result(future))
                 self._record_latency(start)
-                return stored, "store"
-        future = self._inflight.get(key)
-        if future is not None:
-            self.counters["deduped"] += 1
+                return payload, "inflight"
+            # Admission control: only *new* evaluations are shed — store
+            # hits and dedup joins above cost nothing and always get
+            # through.
+            if (self.max_queue is not None
+                    and len(self._inflight) >= self.max_queue):
+                self.counters["shed"] += 1
+                raise PlanRequestError(
+                    f"plan server is saturated ({len(self._inflight)} "
+                    f"requests in flight, max_queue={self.max_queue}); "
+                    f"retry with backoff", kind="overloaded", status=503,
+                    retryable=True, retry_after=1.0)
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            context = None
+            if request_span.span_id:
+                context = {"trace_id": request_span.trace_id,
+                           "span_id": request_span.span_id}
+            self._queue.put_nowait(
+                (key, scenario, time.perf_counter(), context))
             payload = copy.deepcopy(await self._await_result(future))
             self._record_latency(start)
-            return payload, "inflight"
-        # Admission control: only *new* evaluations are shed — store hits
-        # and dedup joins above cost nothing and always get through.
-        if (self.max_queue is not None
-                and len(self._inflight) >= self.max_queue):
-            self.counters["shed"] += 1
-            raise PlanRequestError(
-                f"plan server is saturated ({len(self._inflight)} requests "
-                f"in flight, max_queue={self.max_queue}); retry with "
-                f"backoff", kind="overloaded", status=503, retryable=True,
-                retry_after=1.0)
-        future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
-        self._queue.put_nowait((key, scenario))
-        payload = copy.deepcopy(await self._await_result(future))
-        self._record_latency(start)
-        return payload, "evaluated"
+            return payload, "evaluated"
 
     async def _await_result(self, future: asyncio.Future) -> Dict[str, object]:
         """Await one shared evaluation, under the per-request deadline.
@@ -480,6 +533,7 @@ class PlanScheduler:
         """Collect micro-batches from the queue and dispatch them."""
         while True:
             batch = [await self._queue.get()]
+            assembly_start = time.perf_counter()
             loop = asyncio.get_running_loop()
             deadline = loop.time() + self.batch_window
             while len(batch) < self.max_batch:
@@ -492,20 +546,34 @@ class PlanScheduler:
                 except asyncio.TimeoutError:
                     break
             self.counters["batches"] += 1
+            assembly = time.perf_counter() - assembly_start
+            self._assembly_hist.observe(assembly)
+            self._batch_size_hist.observe(len(batch))
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.record_span("scheduler.batch", assembly,
+                                   context=batch[0][3], size=len(batch))
             # Dispatch concurrently: the batcher goes straight back to
             # collecting while the pool evaluates this batch.
             task = asyncio.create_task(self._dispatch(batch))
             self._dispatch_tasks.add(task)
             task.add_done_callback(self._dispatch_tasks.discard)
 
-    async def _dispatch(
-            self, batch: List[Tuple[str, Scenario]]) -> None:
+    async def _dispatch(self, batch: List[Tuple]) -> None:
         """Group one batch by hardware spec and fan the groups out."""
-        groups: Dict[str, List[Tuple[str, Scenario]]] = {}
-        for key, scenario in batch:
-            hardware_key = json.dumps(scenario.to_dict()["hardware"],
+        now = time.perf_counter()
+        tracer = get_tracer()
+        for key, _, enqueued, context in batch:
+            wait = now - enqueued
+            self._queue_wait_hist.observe(wait)
+            if tracer.enabled:
+                tracer.record_span("scheduler.queue_wait", wait,
+                                   context=context, cache_key=key)
+        groups: Dict[str, List[Tuple]] = {}
+        for item in batch:
+            hardware_key = json.dumps(item[1].to_dict()["hardware"],
                                       sort_keys=True)
-            groups.setdefault(hardware_key, []).append((key, scenario))
+            groups.setdefault(hardware_key, []).append(item)
         self.counters["groups"] += len(groups)
         await asyncio.gather(*(self._run_group(group)
                                for group in groups.values()))
@@ -530,8 +598,7 @@ class PlanScheduler:
                 broken.shutdown(wait=False)
 
     async def _evaluate_with_retry(
-            self, group: List[Tuple[str, Scenario]]
-    ) -> List[Dict[str, object]]:
+            self, group: List[Tuple]) -> List[Dict[str, object]]:
         """Evaluate one group, self-healing around worker failures.
 
         Retryable failures (a crashed worker, a broken pool) re-dispatch
@@ -541,48 +608,75 @@ class PlanScheduler:
         which gets a terminal ``worker_crashed`` error payload carrying its
         ``cache_key``, while every other request still evaluates normally.
         """
-        docs = [scenario.to_dict() for _, scenario in group]
+        docs = [scenario.to_dict() for _, scenario, _, _ in group]
         loop = asyncio.get_running_loop()
+        tracer = get_tracer()
         attempts = 0
-        while True:
-            generation = self._pool_generation
-            try:
-                payloads, telemetry = await loop.run_in_executor(
-                    self._executor, self._group_fn, docs)
-            except Exception as error:
-                failure = classify_exception(error)
-                if isinstance(error, BrokenExecutor):
-                    await self._rebuild_pool(generation)
-                attempts += 1
-                if failure.retryable and attempts < self.retry.max_attempts:
-                    self.counters["retries"] += 1
-                    await asyncio.sleep(self.retry.delay(attempts))
-                    continue
-                if failure.retryable and len(group) > 1:
-                    # Bisect: isolate the poison scenario so its
-                    # batch-mates still succeed.
-                    mid = len(group) // 2
-                    left = await self._evaluate_with_retry(group[:mid])
-                    right = await self._evaluate_with_retry(group[mid:])
-                    return left + right
-                retries_note = (f" after {attempts} attempts"
-                                if failure.retryable else "")
-                return [error_payload(
-                    f"evaluation worker failed{retries_note}: {error}",
-                    kind=("worker_crashed" if failure.retryable
-                          else failure.kind),
-                    status=500, retryable=False, cache_key=key)
-                    for key, _ in group]
-            if telemetry is not None:
-                self._worker_stats[telemetry["pid"]] = \
-                    telemetry["plan_cache"]
-            return payloads
+        # The dispatch runs in the batch-loop task, not a request's; parent
+        # it under the first grouped request's serialized span context.
+        with tracer.span_under(group[0][3], "scheduler.dispatch",
+                               scenarios=len(docs)) as dispatch_span:
+            context = None
+            if dispatch_span.span_id:
+                context = {"trace_id": dispatch_span.trace_id,
+                           "span_id": dispatch_span.span_id}
+            dispatch_start = time.perf_counter()
+            while True:
+                generation = self._pool_generation
+                try:
+                    payloads, telemetry = await loop.run_in_executor(
+                        self._executor, self._group_fn, docs, context)
+                except Exception as error:
+                    failure = classify_exception(error)
+                    if isinstance(error, BrokenExecutor):
+                        await self._rebuild_pool(generation)
+                    attempts += 1
+                    if (failure.retryable
+                            and attempts < self.retry.max_attempts):
+                        self.counters["retries"] += 1
+                        await asyncio.sleep(self.retry.delay(attempts))
+                        continue
+                    if failure.retryable and len(group) > 1:
+                        # Bisect: isolate the poison scenario so its
+                        # batch-mates still succeed.
+                        mid = len(group) // 2
+                        left = await self._evaluate_with_retry(group[:mid])
+                        right = await self._evaluate_with_retry(group[mid:])
+                        return left + right
+                    retries_note = (f" after {attempts} attempts"
+                                    if failure.retryable else "")
+                    return [error_payload(
+                        f"evaluation worker failed{retries_note}: {error}",
+                        kind=("worker_crashed" if failure.retryable
+                              else failure.kind),
+                        status=500, retryable=False, cache_key=key)
+                        for key, _, _, _ in group]
+                self._dispatch_hist.observe(
+                    time.perf_counter() - dispatch_start)
+                if telemetry is not None:
+                    self._absorb_telemetry(telemetry, tracer)
+                return payloads
 
-    async def _run_group(
-            self, group: List[Tuple[str, Scenario]]) -> None:
+    def _absorb_telemetry(self, telemetry: Dict[str, object],
+                          tracer) -> None:
+        """Fold one worker telemetry document into scheduler-side state.
+
+        Worker counters are cumulative per process, so the *last* snapshot
+        per pid is kept (merged at :meth:`stats` time); buffered worker
+        spans are re-emitted into this process's trace sink.
+        """
+        pid = telemetry["pid"]
+        self._worker_stats[pid] = telemetry["plan_cache"]
+        if telemetry.get("metrics") is not None:
+            self._worker_metrics[pid] = telemetry["metrics"]
+        if tracer.enabled:
+            for record in telemetry.get("spans") or ():
+                tracer.emit(record)
+
+    async def _run_group(self, group: List[Tuple]) -> None:
         """Evaluate one hardware-compatible group on one pool worker."""
         payloads = await self._evaluate_with_retry(group)
-        for (key, _), payload in zip(group, payloads):
+        for (key, _, _, _), payload in zip(group, payloads):
             if "error" in payload:
                 # Every per-scenario error names its request: batch-mates
                 # sharing a group-wide failure stay distinguishable.
@@ -603,20 +697,34 @@ class PlanScheduler:
         """
         if self.store is None:
             return
+        start = time.perf_counter()
         try:
-            if self.chaos is not None:
-                self.chaos.on_store_write()
-            self.store.put(key, payload)
+            with span("scheduler.store_write", cache_key=key):
+                if self.chaos is not None:
+                    self.chaos.on_store_write()
+                self.store.put(key, payload)
         except OSError:
             self.counters["store_write_failures"] += 1
+        finally:
+            self._store_write_hist.observe(time.perf_counter() - start)
 
     # Telemetry -------------------------------------------------------------------
 
     def _record_latency(self, start: float) -> None:
-        elapsed = time.perf_counter() - start
-        self._latency_count += 1
-        self._latency_total += elapsed
-        self._latency_max = max(self._latency_max, elapsed)
+        self._latency_hist.observe(time.perf_counter() - start)
+
+    def merged_registry(self) -> MetricsRegistry:
+        """The scheduler's registry folded with the latest worker snapshots.
+
+        Worker registries are cumulative per process, so only the last
+        snapshot per pid contributes; the merge happens into a *fresh*
+        registry so repeated calls never double-count.
+        """
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self.registry.snapshot())
+        for snapshot in self._worker_metrics.values():
+            merged.merge_snapshot(snapshot)
+        return merged
 
     def stats(self) -> Dict[str, object]:
         """Plain-JSON counter snapshot (the ``GET /metrics`` document)."""
@@ -646,11 +754,16 @@ class PlanScheduler:
             "plan_cache": plan_cache,
             "chaos": ({"enabled": True, **self.chaos.stats()}
                       if self.chaos is not None else {"enabled": False}),
+            # The pre-registry scalar keys stay bit-compatible (pinned in
+            # tests/server); the percentile keys are the histogram's gain.
             "latency": {
-                "count": self._latency_count,
-                "total_seconds": self._latency_total,
-                "max_seconds": self._latency_max,
-                "mean_seconds": (self._latency_total / self._latency_count
-                                 if self._latency_count else 0.0),
+                "count": self._latency_hist.count,
+                "total_seconds": self._latency_hist.sum,
+                "max_seconds": self._latency_hist.max,
+                "mean_seconds": self._latency_hist.mean,
+                "p50_seconds": self._latency_hist.percentile(0.50),
+                "p95_seconds": self._latency_hist.percentile(0.95),
+                "p99_seconds": self._latency_hist.percentile(0.99),
             },
+            "timings": self.merged_registry().histogram_summaries(),
         }

@@ -31,6 +31,9 @@ import os
 import warnings
 from typing import Dict, Optional
 
+from repro.obs.metrics import CounterBundle
+from repro.obs.tracing import span
+
 #: Result-store counter names reported by :meth:`ResultStore.stats`.
 STORE_COUNTERS = ("hits", "misses", "writes", "corrupt_lines")
 
@@ -58,18 +61,51 @@ class ResultStore:
                  durable: bool = False) -> None:
         self.path = os.fspath(path) if path is not None else None
         self.durable = durable
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
-        self.corrupt_lines = 0
+        self.counters = CounterBundle(
+            **{name: 0 for name in STORE_COUNTERS})
         self._payloads: Dict[str, Dict[str, object]] = {}
         self._handle = None
         if self.path is not None:
-            self._load()
+            with span("store.load", path=self.path):
+                self._load()
             directory = os.path.dirname(self.path)
             if directory:
                 os.makedirs(directory, exist_ok=True)
             self._handle = open(self.path, "a", encoding="utf-8")
+
+    # The documented counter attributes stay plain reads/writes; the bundle
+    # behind them is the shared snapshot()/merge() convention.
+    @property
+    def hits(self) -> int:
+        return self.counters.hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.counters.hits = value
+
+    @property
+    def misses(self) -> int:
+        return self.counters.misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.counters.misses = value
+
+    @property
+    def writes(self) -> int:
+        return self.counters.writes
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self.counters.writes = value
+
+    @property
+    def corrupt_lines(self) -> int:
+        return self.counters.corrupt_lines
+
+    @corrupt_lines.setter
+    def corrupt_lines(self, value: int) -> None:
+        self.counters.corrupt_lines = value
 
     def _load(self) -> None:
         """Index every intact record of the backing file (last key wins)."""
@@ -134,10 +170,7 @@ class ResultStore:
     def stats(self) -> Dict[str, object]:
         """Plain-JSON counter snapshot for ``GET /metrics``."""
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "writes": self.writes,
-            "corrupt_lines": self.corrupt_lines,
+            **self.counters.snapshot(),
             "entries": len(self._payloads),
             "persistent": self.path is not None,
         }

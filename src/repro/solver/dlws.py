@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.costmodel.tables import CostTables, PlanCache
 from repro.hardware.wafer import WaferScaleChip
+from repro.obs.tracing import span
 from repro.parallelism.baselines import BaselineScheme
 from repro.parallelism.spec import ParallelSpec
 from repro.parallelism.strategies import ExecutionPlan
@@ -99,57 +100,69 @@ class DualLevelWaferSolver:
             max_tatp=max_tatp,
             pipeline_degrees=pipeline_degrees,
         )
-        candidates = space.pruned_candidates(
-            self.wafer.config, plan_cache=plan_cache)
-        if not candidates:
-            candidates = space.candidates()
+        with span("solver.prune"):
+            candidates = space.pruned_candidates(
+                self.wafer.config, plan_cache=plan_cache)
+            if not candidates:
+                candidates = space.candidates()
 
         # One set of vectorized cost tables feeds both solver levels. A
         # provider (portfolio batching) hands back tables built over its own
         # representative graph, so the solve must adopt that graph too.
-        if self.tables_provider is not None:
-            tables = self.tables_provider(model, candidates)
-            layer_graph = tables.graph
-        else:
-            layer_graph = representative_layer_graph(model)
-            # The fabric's analytic hop model: 1 on the default mesh, higher
-            # on fabrics whose canonical die groups cannot ring cheaply.
-            tables = CostTables(
-                layer_graph, candidates, self.wafer.config, self.config,
-                hop_factor=self.wafer.topology.collective_hop_factor())
+        with span("solver.tables", candidates=len(candidates)):
+            if self.tables_provider is not None:
+                tables = self.tables_provider(model, candidates)
+                layer_graph = tables.graph
+            else:
+                layer_graph = representative_layer_graph(model)
+                # The fabric's analytic hop model: 1 on the default mesh,
+                # higher on fabrics whose canonical die groups cannot ring
+                # cheaply.
+                tables = CostTables(
+                    layer_graph, candidates, self.wafer.config, self.config,
+                    hop_factor=self.wafer.topology.collective_hop_factor())
 
         # Level 1: dynamic program over the representative layer.
-        dp_result = optimize_segments(
-            layer_graph, candidates, self.wafer.config, self.config,
-            memory_limit=self.wafer.config.die.hbm.capacity,
-            tables=tables)
+        with span("solver.dp", candidates=len(candidates)):
+            dp_result = optimize_segments(
+                layer_graph, candidates, self.wafer.config, self.config,
+                memory_limit=self.wafer.config.die.hbm.capacity,
+                tables=tables)
 
         # Level 2: genetic refinement of the DP assignment.
-        refiner = GeneticRefiner(
-            layer_graph, candidates, self.wafer.config, self.config,
-            genetic_config=self.genetic_config, tables=tables)
-        ga_result = refiner.refine(initial_assignment=dp_result.assignment)
+        with span("solver.ga",
+                  generations=self.genetic_config.generations):
+            refiner = GeneticRefiner(
+                layer_graph, candidates, self.wafer.config, self.config,
+                genetic_config=self.genetic_config, tables=tables)
+            ga_result = refiner.refine(
+                initial_assignment=dp_result.assignment)
 
         # Finalists: whole-model candidates ranked by the fast cost model, then
         # validated through the full simulator with the TCME mapping.
         finalists = self._select_finalists(model, candidates, plan_cache)
-        reports: Dict[str, SimulationReport] = {}
-        best_spec: Optional[ParallelSpec] = None
-        best_report: Optional[SimulationReport] = None
-        for spec in finalists:
-            plan = plan_cache.analyze(model, spec, num_devices=num_devices)
-            report = self.simulator.simulate(plan, engine=self.mapping_engine)
-            reports[spec.label()] = report
-            if report.oom:
-                continue
-            if best_report is None or report.step_time < best_report.step_time:
-                best_spec, best_report = spec, report
-        if best_report is None:
-            # Every finalist went OOM; fall back to the least-over-capacity one.
-            best_spec = min(
-                finalists,
-                key=lambda s: reports[s.label()].memory_pressure)
-            best_report = reports[best_spec.label()]
+        with span("solver.simulate", finalists=len(finalists)):
+            reports: Dict[str, SimulationReport] = {}
+            best_spec: Optional[ParallelSpec] = None
+            best_report: Optional[SimulationReport] = None
+            for spec in finalists:
+                plan = plan_cache.analyze(model, spec,
+                                          num_devices=num_devices)
+                report = self.simulator.simulate(
+                    plan, engine=self.mapping_engine)
+                reports[spec.label()] = report
+                if report.oom:
+                    continue
+                if (best_report is None
+                        or report.step_time < best_report.step_time):
+                    best_spec, best_report = spec, report
+            if best_report is None:
+                # Every finalist went OOM; fall back to the
+                # least-over-capacity one.
+                best_spec = min(
+                    finalists,
+                    key=lambda s: reports[s.label()].memory_pressure)
+                best_report = reports[best_spec.label()]
 
         elapsed = time.perf_counter() - start
         return SolverResult(

@@ -1,0 +1,46 @@
+"""Tests of the structured logging setup."""
+
+import io
+import json
+import logging
+
+from repro.obs.logs import setup_logging
+
+
+def _log_to_buffer(**kwargs):
+    stream = io.StringIO()
+    logger = setup_logging(stream=stream, **kwargs)
+    return logger, stream
+
+
+class TestSetupLogging:
+    def test_json_mode_emits_parseable_records(self):
+        logger, stream = _log_to_buffer(level="info", json_mode=True)
+        logger.info("evaluated %d scenarios", 3,
+                    extra={"figure": "fig13"})
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro"
+        assert record["message"] == "evaluated 3 scenarios"
+        assert record["figure"] == "fig13"
+        assert "ts" in record
+
+    def test_text_mode(self):
+        logger, stream = _log_to_buffer(level="info", json_mode=False)
+        logger.warning("queue is %s", "full")
+        line = stream.getvalue()
+        assert "WARNING" in line and "queue is full" in line
+
+    def test_level_filtering(self):
+        logger, stream = _log_to_buffer(level="warning")
+        logger.info("hidden")
+        logger.error("shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_reconfiguration_replaces_handler(self):
+        logger, _ = _log_to_buffer(level="info")
+        _, stream = _log_to_buffer(level="info", json_mode=True)
+        logger.info("only once")
+        assert len(logging.getLogger("repro").handlers) == 1
+        assert stream.getvalue().count("only once") == 1

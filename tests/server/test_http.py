@@ -76,6 +76,56 @@ class TestEndpoints:
         assert client.plan(scenario)["model"] == "gpt3-6.7b"
         assert client.plan_batch([scenario])[0]["model"] == "gpt3-6.7b"
 
+    def test_metrics_latency_percentiles_and_timings(self, client):
+        client.plan(_doc())
+        metrics = client.metrics()
+        for key in ("count", "total_seconds", "max_seconds", "mean_seconds",
+                    "p50_seconds", "p95_seconds", "p99_seconds"):
+            assert key in metrics["latency"]
+        timings = metrics["timings"]
+        for name in ("scheduler.request_latency_seconds",
+                     "scheduler.queue_wait_seconds",
+                     "scheduler.dispatch_seconds",
+                     "service.evaluate_seconds"):
+            assert timings[name]["count"] >= 1
+            assert timings[name]["p95"] >= timings[name]["p50"] >= 0
+
+    def test_metrics_prometheus_format_and_content_type(self, client,
+                                                        server):
+        client.plan(_doc())
+        connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                timeout=30)
+        try:
+            connection.request("GET", "/metrics?format=prometheus")
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == \
+            "text/plain; version=0.0.4; charset=utf-8"
+        lines = text.splitlines()
+        # Flattened JSON gauges keep their bit-compatible values.
+        json_metrics = client.metrics()
+        requests_line = next(line for line in lines
+                             if line.startswith("repro_scheduler_requests "))
+        assert (int(requests_line.split()[1])
+                <= json_metrics["scheduler"]["requests"])
+        # Native histogram exposition with queue/evaluate latency series.
+        for name in ("repro_scheduler_request_latency_seconds",
+                     "repro_scheduler_queue_wait_seconds",
+                     "repro_service_evaluate_seconds"):
+            assert f"# TYPE {name} histogram" in lines
+            assert any(line.startswith(f'{name}_bucket{{le="')
+                       for line in lines)
+            assert any(line.startswith(f"{name}_count ") for line in lines)
+        # Every sample line is well-formed "name[labels] value".
+        for line in lines:
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+                continue
+            float(line.rsplit(" ", 1)[1])
+
 
 class TestErrorHandling:
     def test_malformed_scenario_is_a_structured_400(self, client):

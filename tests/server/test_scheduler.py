@@ -322,7 +322,7 @@ class TestStats:
 
         stats = _run(scenario())
         assert set(stats) == {"scheduler", "store", "plan_cache", "chaos",
-                              "latency"}
+                              "latency", "timings"}
         assert stats["scheduler"]["requests"] == 1
         assert stats["scheduler"]["jobs"] == 1
         for counter in ("retries", "shed", "deadline_expired",
@@ -333,6 +333,13 @@ class TestStats:
         assert stats["plan_cache"]["misses"] > 0
         assert stats["latency"]["count"] == 1
         assert stats["latency"]["mean_seconds"] > 0
+        # Histogram-backed percentiles ride along with the legacy keys.
+        for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
+            assert stats["latency"][key] >= 0
+        # The merged-registry digest carries the stage histograms.
+        assert "scheduler.request_latency_seconds" in stats["timings"]
+        assert stats["timings"]["scheduler.request_latency_seconds"][
+            "count"] == 1
 
     def test_store_disabled_marker(self):
         async def scenario():
