@@ -12,7 +12,15 @@ Sub-commands::
     repro serve --port 8099 --jobs 2   # long-lived batched/cached plan server
     repro serve --deadline 30 --max-queue 256   # + deadlines, load shedding
     repro serve --chaos worker-crash:once       # + deterministic fault injection
+    repro serve --store plans.sqlite   # indexed SQLite result store (O(1) open)
     repro submit '<json>' --port 8099  # submit scenario(s) to a server
+    repro store stats plans.jsonl      # entries / dead records / file size
+    repro store compact plans.jsonl    # rewrite last-wins (drop dead records)
+    repro store migrate plans.jsonl plans.sqlite  # convert between backends
+                                       # (verified key-by-key)
+    repro loadtest --requests 200 --dedup-ratio 0.95 --concurrency 8
+                                       # replay synthetic plans against a live
+                                       # server: p50/p95/p99, cache-hit rate
     repro sweep fig13 --reduced        # registered portfolio -> manifest
     repro sweep fig13 --server 127.0.0.1:8099   # same sweep, remote
     repro sweep --file portfolio.json  # ad-hoc portfolio document
@@ -128,9 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "in-process PlanService, N>1 from a persistent "
                             "process pool (default: %(default)s)")
     serve.add_argument("--store", metavar="PATH", default=None,
-                       help="JSON-lines result store; repeated requests are "
+                       help="persistent result store; repeated requests are "
                             "served from it across restarts (default: "
                             "memory only)")
+    serve.add_argument("--store-backend", default="auto",
+                       choices=("auto", "jsonl", "sqlite"),
+                       help="result-store format: append-only JSON lines or "
+                            "an indexed SQLite database; 'auto' picks by "
+                            "extension (.sqlite/.sqlite3/.db -> sqlite, "
+                            "default: %(default)s)")
     serve.add_argument("--batch-window", type=float, default=0.005,
                        metavar="SECONDS",
                        help="micro-batching window (default: %(default)s)")
@@ -181,6 +195,74 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--indent", type=int, default=2, metavar="N",
                         help="JSON output indentation (default: %(default)s)")
 
+    store = sub.add_parser(
+        "store", parents=[logged],
+        help="maintain result-store files (stats, compaction, backend "
+             "migration)")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats_p = store_sub.add_parser(
+        "stats", parents=[logged],
+        help="entries, dead records, corrupt lines, and on-disk size")
+    store_stats_p.add_argument("path", help="result-store file")
+    store_stats_p.add_argument("--store-backend", default="auto",
+                               choices=("auto", "jsonl", "sqlite"),
+                               help="backend of the file (default: by "
+                                    "extension)")
+    store_compact = store_sub.add_parser(
+        "compact", parents=[logged],
+        help="drop dead/corrupt records: rewrite a JSON-lines file "
+             "last-wins, or checkpoint+VACUUM a SQLite file")
+    store_compact.add_argument("path", help="result-store file")
+    store_compact.add_argument("--store-backend", default="auto",
+                               choices=("auto", "jsonl", "sqlite"),
+                               help="backend of the file (default: by "
+                                    "extension)")
+    store_migrate = store_sub.add_parser(
+        "migrate", parents=[logged],
+        help="convert a store between backends, verified key-by-key")
+    store_migrate.add_argument("source", help="existing result-store file")
+    store_migrate.add_argument("destination",
+                               help="destination store file (upserted into "
+                                    "if it already exists)")
+    store_migrate.add_argument("--from-backend", default="auto",
+                               choices=("auto", "jsonl", "sqlite"),
+                               help="source backend (default: by extension)")
+    store_migrate.add_argument("--to-backend", default="auto",
+                               choices=("auto", "jsonl", "sqlite"),
+                               help="destination backend (default: by "
+                                    "extension)")
+    store_migrate.add_argument("--durable", action="store_true",
+                               help="write the destination with full "
+                                    "durability (fsync / synchronous=FULL)")
+
+    loadtest = sub.add_parser(
+        "loadtest", parents=[logged],
+        help="replay synthetic plan requests against a live server and "
+             "report p50/p95/p99 latency, cache-hit rate, and shed counts")
+    loadtest.add_argument("--server", metavar="URL", default="127.0.0.1:8099",
+                          help="plan server ('HOST:PORT' or "
+                               "'http://HOST:PORT', default: %(default)s)")
+    loadtest.add_argument("--requests", type=int, default=200, metavar="N",
+                          help="total plan requests (default: %(default)s)")
+    loadtest.add_argument("--dedup-ratio", type=float, default=0.95,
+                          metavar="R",
+                          help="fraction of requests repeating an earlier "
+                               "scenario; 0 makes every request unique "
+                               "(default: %(default)s)")
+    loadtest.add_argument("--concurrency", type=int, default=8, metavar="N",
+                          help="concurrent client connections "
+                               "(default: %(default)s)")
+    loadtest.add_argument("--timeout", type=float, default=30.0,
+                          metavar="SECONDS",
+                          help="per-request timeout (default: %(default)s)")
+    loadtest.add_argument("--json", metavar="OUT", dest="json_out",
+                          default=None,
+                          help="also write the full report as JSON here")
+    loadtest.add_argument("--min-cache-hit-rate", type=float, default=None,
+                          metavar="R",
+                          help="fail (exit 1) when the cache-hit rate lands "
+                               "below this SLO (default: no gate)")
+
     sweep = sub.add_parser(
         "sweep", parents=[traced],
         help="expand a portfolio (a named family of scenarios) through the "
@@ -203,8 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "('HOST:PORT' or 'http://HOST:PORT') instead of "
                             "a local scheduler")
     sweep.add_argument("--store", metavar="PATH", default=None,
-                       help="JSON-lines result store for the local "
+                       help="persistent result store for the local "
                             "scheduler (repeats served across sweeps)")
+    sweep.add_argument("--store-backend", default="auto",
+                       choices=("auto", "jsonl", "sqlite"),
+                       help="result-store format (see 'repro serve "
+                            "--store-backend'; default: %(default)s)")
     sweep.add_argument("--output-dir", default=DEFAULT_OUTPUT_DIR,
                        help="manifest directory (default: %(default)s)")
     sweep.add_argument("--no-write", action="store_true",
@@ -454,7 +540,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _serve() -> None:
         scheduler = PlanScheduler(
-            store=ResultStore(args.store, durable=args.durable),
+            store=ResultStore(args.store, durable=args.durable,
+                              backend=args.store_backend),
             jobs=args.jobs,
             batch_window=args.batch_window,
             max_batch=args.max_batch,
@@ -465,8 +552,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = PlanServer(scheduler, host=args.host, port=args.port)
         await server.start()
         chaos_note = f", chaos={chaos.spec!r}" if chaos is not None else ""
+        store_note = (f"{args.store} [{scheduler.store.backend}]"
+                      if args.store else "memory-only")
         print(f"plan server listening on http://{args.host}:{server.port} "
-              f"(jobs={args.jobs}, store={args.store or 'memory-only'}"
+              f"(jobs={args.jobs}, store={store_note}"
               f"{chaos_note})",
               flush=True)
         try:
@@ -665,7 +754,7 @@ def _sweep_store(args: argparse.Namespace):
         return None
     from repro.server.store import ResultStore
 
-    return ResultStore(args.store)
+    return ResultStore(args.store, backend=args.store_backend)
 
 
 def _sweep_via_server(args: argparse.Namespace, portfolio, points):
@@ -711,6 +800,83 @@ def _sweep_via_server(args: argparse.Namespace, portfolio, points):
             index=point.index, params=point.params, payload=payload,
             source=source, wall_seconds=wall, key=point.cache_key()))
     return outcomes
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.server.store import (
+        StoreError,
+        compact_store,
+        migrate_store,
+        store_stats,
+    )
+
+    try:
+        if args.store_command == "stats":
+            if not os.path.exists(args.path):
+                print(f"error: no such store file: {args.path}",
+                      file=sys.stderr)
+                return 2
+            document = store_stats(args.path, backend=args.store_backend)
+        elif args.store_command == "compact":
+            if not os.path.exists(args.path):
+                print(f"error: no such store file: {args.path}",
+                      file=sys.stderr)
+                return 2
+            document = compact_store(args.path, backend=args.store_backend)
+        else:  # migrate
+            if not os.path.exists(args.source):
+                print(f"error: no such store file: {args.source}",
+                      file=sys.stderr)
+                return 2
+            document = migrate_store(
+                args.source, args.destination,
+                source_backend=args.from_backend,
+                destination_backend=args.to_backend,
+                durable=args.durable)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:  # StoreError included: corrupt/unwritable files
+        kind = ("verification failed"
+                if isinstance(error, StoreError) else "store error")
+        print(f"error: {kind}: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.server.loadtest import render_report, run_loadtest, write_report
+
+    location = _parse_server_url(args.server)
+    if location is None:
+        print(f"error: malformed --server value {args.server!r}; expected "
+              f"HOST:PORT or http://HOST:PORT", file=sys.stderr)
+        return 2
+    host, port = location
+    try:
+        report = run_loadtest(
+            host=host, port=port, requests=args.requests,
+            dedup_ratio=args.dedup_ratio, concurrency=args.concurrency,
+            timeout=args.timeout)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_report(report))
+    if args.json_out is not None:
+        write_report(report, args.json_out)
+        print(f"wrote {args.json_out}")
+    if report["completed"] == 0:
+        print(f"error: no request completed against {host}:{port} "
+              f"(is the server up?)", file=sys.stderr)
+        return 1
+    if (args.min_cache_hit_rate is not None
+            and report["cache_hit_rate"] < args.min_cache_hit_rate):
+        print(f"error: cache-hit rate {report['cache_hit_rate']:.3f} below "
+              f"the --min-cache-hit-rate SLO {args.min_cache_hit_rate:.3f}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -880,6 +1046,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "submit":
             return _cmd_submit(args)
+        if args.command == "store":
+            return _cmd_store(args)
+        if args.command == "loadtest":
+            return _cmd_loadtest(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
         if args.command == "check":

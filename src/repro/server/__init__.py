@@ -45,9 +45,18 @@ from repro.server.resilience import (
     is_retryable_payload,
 )
 from repro.server.scheduler import PlanRequestError, PlanScheduler, error_payload
-from repro.server.store import ResultStore
+from repro.server.store import (
+    BACKENDS,
+    ResultStore,
+    StoreError,
+    compact_store,
+    migrate_store,
+    resolve_backend,
+    store_stats,
+)
 
 __all__ = [
+    "BACKENDS",
     "Failure",
     "FaultInjector",
     "FaultSpecError",
@@ -62,11 +71,16 @@ __all__ = [
     "PortfolioManager",
     "ResultStore",
     "RetryPolicy",
+    "StoreError",
     "build_sweep_manifest",
     "classify_exception",
+    "compact_store",
     "error_payload",
     "is_retryable_exception",
     "is_retryable_payload",
+    "migrate_store",
+    "resolve_backend",
     "run_portfolio_local",
+    "store_stats",
     "sweep_portfolio",
 ]

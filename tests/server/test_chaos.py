@@ -362,6 +362,37 @@ class TestStoreWriteFailure:
         assert counters["store_write_failures"] == 1
         assert store_stats["writes"] == 1
 
+    def test_sqlite_store_under_write_fault(self, tmp_path):
+        # The same containment contract holds behind the indexed backend:
+        # the injected failure costs one write, nothing else, and the next
+        # evaluation persists (visible across a reopen).
+        document = _doc()
+        path = str(tmp_path / "plans.sqlite")
+        chaos = FaultInjector("store-write-fail:1",
+                              state_dir=str(tmp_path / "chaos"))
+
+        async def scenario():
+            with ResultStore(path) as store:
+                assert store.backend == "sqlite"
+                async with PlanScheduler(batch_window=0.001, chaos=chaos,
+                                         store=store) as scheduler:
+                    first = await scheduler.submit_doc(document)
+                    second, source = await scheduler.submit_doc_traced(
+                        document)
+                    return (first, second, source,
+                            dict(scheduler.counters), store.stats())
+
+        first, second, source, counters, store_stats = _run(scenario())
+        assert first == _direct(document)
+        assert second == first
+        assert source == "evaluated"
+        assert counters["store_write_failures"] == 1
+        assert store_stats["writes"] == 1
+        with ResultStore(path) as reopened:
+            assert len(reopened) == 1
+            key = Scenario.from_dict(document).cache_key()
+            assert reopened.get(key) == first
+
 
 class TestAdmissionControl:
     def test_saturated_queue_sheds_with_retry_after(self):

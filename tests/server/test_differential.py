@@ -133,3 +133,67 @@ def test_pool_scheduler_path_matches_direct(scenarios, direct_payloads):
                     for kind, scenario in scenarios.items()}
 
     assert asyncio.run(run()) == direct_payloads
+
+
+@pytest.mark.parametrize("store_name", ["plans.jsonl", "plans.sqlite"])
+def test_store_backends_serve_bit_identical_payloads(
+        store_name, tmp_path, scenarios, direct_payloads):
+    # Same scenario stream through a store-backed scheduler on each
+    # persistence backend: the first pass populates, the second is served
+    # from the store — and both match the direct evaluation bit for bit.
+    from repro.server.store import ResultStore
+
+    path = tmp_path / store_name
+
+    async def run(store):
+        async with PlanScheduler(batch_window=0.001,
+                                 store=store) as scheduler:
+            first = {kind: await scheduler.submit(scenario)
+                     for kind, scenario in scenarios.items()}
+            second = {}
+            sources = {}
+            for kind, scenario in scenarios.items():
+                payload, source = await scheduler.submit_traced(scenario)
+                second[kind] = payload
+                sources[kind] = source
+            return first, second, sources
+
+    with ResultStore(path) as store:
+        first, second, sources = asyncio.run(run(store))
+    assert first == direct_payloads
+    assert second == direct_payloads
+    assert set(sources.values()) == {"store"}
+    # Across a restart too: a fresh process over the same file serves the
+    # identical payloads without re-evaluating.
+    with ResultStore(path) as reopened:
+        for kind, scenario in scenarios.items():
+            assert reopened.get(scenario.cache_key()) \
+                == direct_payloads[kind]
+
+
+def test_jsonl_and_sqlite_stores_hold_identical_mappings(
+        tmp_path, scenarios, direct_payloads):
+    # The two backends persisting the same stream must agree key for key,
+    # in the canonical serialized form (the migration/verify invariant).
+    from repro.server.store import ResultStore
+
+    stores = {}
+    for name in ("plans.jsonl", "plans.sqlite"):
+        async def run(store):
+            async with PlanScheduler(batch_window=0.001,
+                                     store=store) as scheduler:
+                for scenario in scenarios.values():
+                    await scheduler.submit(scenario)
+
+        with ResultStore(tmp_path / name) as store:
+            asyncio.run(run(store))
+        stores[name] = tmp_path / name
+
+    with ResultStore(stores["plans.jsonl"]) as jsonl_store:
+        with ResultStore(stores["plans.sqlite"]) as sqlite_store:
+            jsonl_keys = sorted(jsonl_store.keys())
+            assert jsonl_keys == sorted(sqlite_store.keys())
+            assert len(jsonl_keys) == len(scenarios)
+            for key in jsonl_keys:
+                assert jsonl_store.get_serialized(key) \
+                    == sqlite_store.get_serialized(key)

@@ -1,17 +1,42 @@
 """Tests of the disk-backed result store."""
 
 import json
+import logging
 import os
-import warnings
+from contextlib import contextmanager
 from unittest import mock
-
-import pytest
 
 from repro.server.store import ResultStore
 
 KEY = "a" * 64
 OTHER_KEY = "b" * 64
 PAYLOAD = {"kind": "single_wafer", "model": "gpt3-6.7b", "step_time": 0.5}
+
+
+@contextmanager
+def capture_store_logs():
+    """Records on the store logger, independent of caplog propagation.
+
+    ``setup_logging`` (run by any earlier CLI test) sets the "repro" logger
+    non-propagating, so caplog cannot be relied on; attaching a handler to
+    the store logger directly is order-independent.
+    """
+    records = []
+
+    class _Capture(logging.Handler):
+        def emit(self, record):
+            records.append(record)
+
+    handler = _Capture(level=logging.DEBUG)
+    store_logger = logging.getLogger("repro.server.store")
+    previous_level = store_logger.level
+    store_logger.addHandler(handler)
+    store_logger.setLevel(logging.DEBUG)
+    try:
+        yield records
+    finally:
+        store_logger.removeHandler(handler)
+        store_logger.setLevel(previous_level)
 
 
 class TestMemoryStore:
@@ -46,7 +71,8 @@ class TestMemoryStore:
         store.get(OTHER_KEY)
         assert store.stats() == {"hits": 1, "misses": 1, "writes": 1,
                                  "corrupt_lines": 0, "entries": 1,
-                                 "persistent": False}
+                                 "persistent": False, "backend": "memory",
+                                 "dead_records": 0}
 
 
 class TestDiskStore:
@@ -75,8 +101,11 @@ class TestDiskStore:
             store.put(KEY, PAYLOAD)
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"key": "' + OTHER_KEY + '", "payl')  # torn write
-        with pytest.warns(RuntimeWarning, match="1 corrupt line"):
+        with capture_store_logs() as records:
             reopened = ResultStore(path)
+        assert any(record.levelno == logging.WARNING
+                   and "1 corrupt line" in record.getMessage()
+                   for record in records)
         with reopened:
             assert reopened.get(KEY) == PAYLOAD
             assert reopened.get(OTHER_KEY) is None
@@ -88,8 +117,10 @@ class TestDiskStore:
         path = tmp_path / "store.jsonl"
         path.write_text('\n[1, 2]\n{"key": 7, "payload": {}}\n'
                         + json.dumps({"key": KEY, "payload": PAYLOAD}) + "\n")
-        with pytest.warns(RuntimeWarning, match="2 corrupt line"):
+        with capture_store_logs() as records:
             store = ResultStore(path)
+        assert any("2 corrupt line" in record.getMessage()
+                   for record in records)
         with store:
             assert store.get(KEY) == PAYLOAD
             assert len(store) == 1
@@ -99,10 +130,11 @@ class TestDiskStore:
         path = tmp_path / "store.jsonl"
         with ResultStore(path) as store:
             store.put(KEY, PAYLOAD)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
+        with capture_store_logs() as records:
             with ResultStore(path) as reopened:
                 assert reopened.corrupt_lines == 0
+        assert not [record for record in records
+                    if record.levelno >= logging.WARNING]
 
     def test_durable_put_fsyncs_every_append(self, tmp_path):
         store = ResultStore(tmp_path / "store.jsonl", durable=True)
